@@ -1,0 +1,585 @@
+// Experiment benchmarks E1–E12. Each benchmark regenerates one row or
+// series of the experiment tables in EXPERIMENTS.md; cmd/edabench runs
+// curated sweeps of the same code and prints the tables.
+//
+// The source paper is a tutorial with no quantitative evaluation, so
+// these experiments check the paper's *claims* (see DESIGN.md §3); the
+// shapes to verify are stated there.
+package eventdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"eventdb/internal/analytics"
+	"eventdb/internal/cep"
+	"eventdb/internal/core"
+	"eventdb/internal/cq"
+	"eventdb/internal/dispatch"
+	"eventdb/internal/event"
+	"eventdb/internal/journal"
+	"eventdb/internal/pubsub"
+	"eventdb/internal/query"
+	"eventdb/internal/queue"
+	"eventdb/internal/rules"
+	"eventdb/internal/server"
+	"eventdb/internal/storage"
+	"eventdb/internal/trigger"
+	"eventdb/internal/val"
+	"eventdb/internal/workload"
+)
+
+func benchDB(b *testing.B, dir string) *storage.DB {
+	b.Helper()
+	db, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func tradeTable(b *testing.B, db *storage.DB) {
+	b.Helper()
+	s, err := storage.NewSchema("trades", []storage.Column{
+		{Name: "sym", Kind: val.KindString, NotNull: true},
+		{Name: "price", Kind: val.KindFloat, NotNull: true},
+		{Name: "qty", Kind: val.KindInt, NotNull: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable(s); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func tradeRow(i int) map[string]val.Value {
+	return map[string]val.Value{
+		"sym":   val.String(fmt.Sprintf("S%d", i%64)),
+		"price": val.Float(float64(i % 1000)),
+		"qty":   val.Int(int64(i)),
+	}
+}
+
+// --- E1: capture mechanism comparison -------------------------------
+
+func BenchmarkE1CaptureTrigger(b *testing.B) {
+	db := benchDB(b, "")
+	tradeTable(b, db)
+	captured := 0
+	m := trigger.NewManager(db, func(*event.Event) { captured++ })
+	defer m.Close()
+	if _, err := m.Register(trigger.Def{Name: "cap", Table: "trades", Timing: trigger.After}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("trades", tradeRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if captured != b.N {
+		b.Fatalf("captured %d of %d", captured, b.N)
+	}
+}
+
+func BenchmarkE1CaptureJournalTail(b *testing.B) {
+	db := benchDB(b, "")
+	tradeTable(b, db)
+	miner := journal.NewMiner(db)
+	sub := miner.Tail(journal.Filter{Tables: []string{"trades"}}, b.N+1024)
+	defer sub.Cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("trades", tradeRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Drain to verify capture kept up.
+	got := 0
+	for len(sub.C) > 0 {
+		<-sub.C
+		got++
+	}
+	if got+int(sub.Overflow()) != b.N {
+		b.Fatalf("captured %d of %d", got, b.N)
+	}
+}
+
+func BenchmarkE1CaptureJournalMineBatch(b *testing.B) {
+	db := benchDB(b, b.TempDir())
+	tradeTable(b, db)
+	for i := 0; i < 10000; i++ {
+		db.Insert("trades", tradeRow(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := journal.NewMiner(db).Mine(0, journal.Filter{}, func(*event.Event) error {
+			n++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != 10000 {
+			b.Fatalf("mined %d", n)
+		}
+	}
+	b.ReportMetric(10000, "events/op")
+}
+
+func BenchmarkE1CaptureQueryDiff(b *testing.B) {
+	db := benchDB(b, "")
+	tradeTable(b, db)
+	for i := 0; i < 1000; i++ {
+		db.Insert("trades", tradeRow(i))
+	}
+	d := query.NewDiffer("hot", query.New("trades").Where("price > 990").Select("sym", "price", "qty"), db, "qty")
+	if _, err := d.Poll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Insert("trades", map[string]val.Value{
+			"sym": val.String("X"), "price": val.Float(999), "qty": val.Int(int64(1000 + i)),
+		})
+		deltas, err := d.Poll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(deltas) != 1 {
+			b.Fatalf("deltas = %d", len(deltas))
+		}
+	}
+}
+
+// --- E2: staging-area (queue) performance ---------------------------
+
+func benchQueue(b *testing.B, dir string) (*storage.DB, *queue.Queue) {
+	b.Helper()
+	db := benchDB(b, dir)
+	qm := queue.NewManager(db)
+	b.Cleanup(qm.Close)
+	q, err := qm.Create("bench", queue.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, q
+}
+
+func BenchmarkE2EnqueueVolatile(b *testing.B) {
+	_, q := benchQueue(b, "")
+	ev := event.New("e", map[string]any{"n": 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Enqueue(ev, queue.EnqueueOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2EnqueueDurable(b *testing.B) {
+	_, q := benchQueue(b, b.TempDir())
+	ev := event.New("e", map[string]any{"n": 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Enqueue(ev, queue.EnqueueOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2RoundTripVolatile(b *testing.B) {
+	_, q := benchQueue(b, "")
+	ev := event.New("e", map[string]any{"n": 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Enqueue(ev, queue.EnqueueOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		msg, ok, err := q.Dequeue("bench")
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+		if err := q.Ack(msg.Receipt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2TransactionalBatch(b *testing.B) {
+	for _, batch := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			db, q := benchQueue(b, "")
+			ev := event.New("e", map[string]any{"n": 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txn := db.Begin()
+				for j := 0; j < batch; j++ {
+					if _, err := q.EnqueueTx(txn, ev, queue.EnqueueOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := txn.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch), "msgs/commit")
+		})
+	}
+}
+
+// --- E3: pub/sub subscription matching (expressions as data) --------
+
+func setupBroker(b *testing.B, indexed bool, n int) *pubsub.Broker {
+	b.Helper()
+	var br *pubsub.Broker
+	if indexed {
+		br = pubsub.NewBroker()
+	} else {
+		br = pubsub.NewBrokerNaive()
+	}
+	for i := 0; i < n; i++ {
+		filter := fmt.Sprintf("sym = 'S%d' AND price > %d", i%1000, i%500)
+		if err := br.Subscribe(fmt.Sprintf("s%d", i), "x", filter, func(pubsub.Delivery) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return br
+}
+
+func BenchmarkE3Match(b *testing.B) {
+	for _, n := range []int{100, 10000, 100000} {
+		for _, mode := range []string{"indexed", "naive"} {
+			if mode == "naive" && n > 10000 {
+				continue // naive at 100k takes too long per op for CI
+			}
+			b.Run(fmt.Sprintf("%s/subs=%d", mode, n), func(b *testing.B) {
+				br := setupBroker(b, mode == "indexed", n)
+				ev := event.New("trade", map[string]any{"sym": "S7", "price": 600})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := br.MatchOnly(ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E4: large rule sets ---------------------------------------------
+
+func setupRules(b *testing.B, indexed bool, n int) *rules.Engine {
+	b.Helper()
+	e := rules.NewEngine(rules.Options{Indexed: indexed})
+	for i := 0; i < n; i++ {
+		cond := fmt.Sprintf("site = 'site%d' AND level >= %d", i%1000, i%10)
+		if _, err := e.Add(fmt.Sprintf("r%d", i), cond, i%3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+func BenchmarkE4Rules(b *testing.B) {
+	for _, n := range []int{100, 10000, 100000} {
+		for _, mode := range []string{"indexed", "naive"} {
+			if mode == "naive" && n > 10000 {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/rules=%d", mode, n), func(b *testing.B) {
+				e := setupRules(b, mode == "indexed", n)
+				ev := event.New("sensor", map[string]any{"site": "site7", "level": 5})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Match(ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E5: frequently changing rule sets -------------------------------
+
+func BenchmarkE5RuleChurn(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("base=%d", n), func(b *testing.B) {
+			e := setupRules(b, true, n)
+			ev := event.New("sensor", map[string]any{"site": "site7", "level": 5})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("churn%d", i)
+				if _, err := e.Add(name, fmt.Sprintf("site = 'site%d'", i%1000), 0, nil); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Match(ev); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Remove(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6: continuous queries, incremental vs recompute ----------------
+
+func BenchmarkE6CQ(b *testing.B) {
+	for _, w := range []int{1024, 16384, 65536} {
+		for _, mode := range []string{"incremental", "recompute"} {
+			if mode == "recompute" && w > 16384 {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/window=%d", mode, w), func(b *testing.B) {
+				q, err := cq.New(cq.Def{
+					Name:    "bench",
+					GroupBy: []string{"sym"},
+					Aggs: []cq.AggDef{
+						{Alias: "n", Kind: cq.Count},
+						{Alias: "avg", Kind: cq.Avg, Attr: "price"},
+					},
+					Window:    cq.Window{Kind: cq.CountWindow, Size: w},
+					Recompute: mode == "recompute",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen := workload.NewTrades(1, 8, 100)
+				// Pre-fill the window.
+				for i := 0; i < w; i++ {
+					q.Feed(gen.Next())
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := q.Feed(gen.Next()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E7: CEP pattern matching -----------------------------------------
+
+func BenchmarkE7CEP(b *testing.B) {
+	strategies := map[string]cep.Strategy{
+		"strict":         cep.Strict,
+		"skip-till-next": cep.SkipTillNext,
+		"skip-till-any":  cep.SkipTillAny,
+	}
+	for _, steps := range []int{2, 3, 5} {
+		for name, strat := range strategies {
+			b.Run(fmt.Sprintf("%s/steps=%d", name, steps), func(b *testing.B) {
+				pb := cep.NewPattern("bench")
+				for s := 0; s < steps; s++ {
+					alias := fmt.Sprintf("s%d", s)
+					guard := "sym = 'SYM000'"
+					if s > 0 {
+						guard = fmt.Sprintf("sym = 'SYM000' AND price > s%d.price", s-1)
+					}
+					pb = pb.Next(alias, "trade", guard)
+				}
+				p, err := pb.Within(time.Minute).Strategy(strat).Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := cep.NewMatcher(p)
+				m.MaxRuns = 512
+				gen := workload.NewTrades(2, 4, 100)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Feed(gen.Next())
+				}
+			})
+		}
+	}
+}
+
+// --- E8: detection accuracy / throughput ------------------------------
+
+func BenchmarkE8DetectThroughput(b *testing.B) {
+	gen := workload.NewMeters(3, 50)
+	readings := make([]workload.MeterReading, 100000)
+	for i := range readings {
+		readings[i] = gen.Next()
+	}
+	b.Run("zscore", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := &analytics.ZScore{Threshold: 3, MinObservations: 50, Robust: true}
+			for _, r := range readings {
+				d.Feed(r.Value)
+			}
+		}
+		b.ReportMetric(float64(len(readings)), "obs/op")
+	})
+}
+
+// --- E9: end-to-end VIRT pipeline --------------------------------------
+
+func BenchmarkE9EndToEnd(b *testing.B) {
+	for _, selectivity := range []string{"0.1pct", "1pct", "10pct"} {
+		threshold := map[string]float64{"0.1pct": 11.8, "1pct": 11.0, "10pct": 9.0}[selectivity]
+		b.Run("selectivity="+selectivity, func(b *testing.B) {
+			eng, err := core.Open(core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			delivered := 0
+			eng.Subscribe("s", "ops", fmt.Sprintf("level > %g", threshold), func(pubsub.Delivery) {
+				delivered++
+			})
+			gen := workload.NewSensors(4, 16)
+			events := make([]*event.Event, 10000)
+			for i := range events {
+				events[i], _ = gen.Next()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, ev := range events {
+					if err := eng.Ingest(ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(delivered)/float64(b.N*len(events))*100, "notified_pct")
+		})
+	}
+}
+
+// --- E10: recovery -----------------------------------------------------
+
+func BenchmarkE10Recovery(b *testing.B) {
+	for _, rows := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			dir := b.TempDir()
+			db, err := storage.Open(storage.Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, _ := storage.NewSchema("t", []storage.Column{
+				{Name: "k", Kind: val.KindInt, NotNull: true},
+				{Name: "v", Kind: val.KindString},
+			}, "k")
+			db.CreateTable(s)
+			for i := 0; i < rows; i++ {
+				db.Insert("t", map[string]val.Value{
+					"k": val.Int(int64(i)), "v": val.String("payload-payload"),
+				})
+			}
+			db.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db, err := storage.Open(storage.Options{Dir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tbl, _ := db.Table("t")
+				if tbl.Len() != rows {
+					b.Fatalf("recovered %d of %d", tbl.Len(), rows)
+				}
+				db.Close()
+			}
+			b.ReportMetric(float64(rows), "rows/op")
+		})
+	}
+}
+
+// --- E11: internal vs external evaluation ------------------------------
+
+func e11Engine(b *testing.B) *core.Engine {
+	b.Helper()
+	eng, err := core.Open(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	for i := 0; i < 1000; i++ {
+		eng.AddRule(fmt.Sprintf("r%d", i), fmt.Sprintf("sym = 'S%d'", i), 0, nil)
+	}
+	return eng
+}
+
+func BenchmarkE11InternalEval(b *testing.B) {
+	eng := e11Engine(b)
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Ingest(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11ExternalEval(b *testing.B) {
+	eng := e11Engine(b)
+	srv, err := server.Start(eng, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := server.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Publish(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E12: multi-hop forwarding -----------------------------------------
+
+func BenchmarkE12Forward(b *testing.B) {
+	for _, hops := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("hops=%d", hops), func(b *testing.B) {
+			db := benchDB(b, "")
+			qm := queue.NewManager(db)
+			defer qm.Close()
+			qs := make([]*queue.Queue, hops+1)
+			for i := range qs {
+				q, err := qm.Create(fmt.Sprintf("hop%d", i), queue.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				qs[i] = q
+			}
+			fwds := make([]*dispatch.Forwarder, hops)
+			for i := 0; i < hops; i++ {
+				fwds[i] = &dispatch.Forwarder{Src: qs[i], Dst: qs[i+1]}
+			}
+			ev := event.New("e", map[string]any{"n": 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := qs[0].Enqueue(ev, queue.EnqueueOptions{}); err != nil {
+					b.Fatal(err)
+				}
+				for _, f := range fwds {
+					if _, err := f.Pump(0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				msg, ok, err := qs[hops].Dequeue("sink")
+				if err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+				qs[hops].Ack(msg.Receipt)
+			}
+		})
+	}
+}

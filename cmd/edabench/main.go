@@ -1,0 +1,542 @@
+// Command edabench regenerates the experiment tables in EXPERIMENTS.md:
+// one table per experiment E1–E12 from DESIGN.md, each checking a claim
+// of the tutorial. Run with -quick for smaller sweeps.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eventdb/internal/analytics"
+	"eventdb/internal/cep"
+	"eventdb/internal/core"
+	"eventdb/internal/cq"
+	"eventdb/internal/dispatch"
+	"eventdb/internal/event"
+	"eventdb/internal/journal"
+	"eventdb/internal/metrics"
+	"eventdb/internal/pubsub"
+	"eventdb/internal/query"
+	"eventdb/internal/queue"
+	"eventdb/internal/rules"
+	"eventdb/internal/server"
+	"eventdb/internal/storage"
+	"eventdb/internal/trigger"
+	"eventdb/internal/val"
+	"eventdb/internal/workload"
+)
+
+var quick = flag.Bool("quick", false, "smaller sweeps")
+
+func main() {
+	flag.Parse()
+	e1()
+	e2()
+	e3()
+	e4()
+	e5()
+	e6()
+	e7()
+	e8()
+	e9()
+	e10()
+	e11()
+	e12()
+}
+
+// rate times n iterations of f and returns ops/sec and ns/op.
+func rate(n int, f func(i int)) (opsPerSec float64, nsPerOp float64) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+	el := time.Since(start)
+	return float64(n) / el.Seconds(), float64(el.Nanoseconds()) / float64(n)
+}
+
+func header(id, claim string) {
+	fmt.Printf("\n## %s — %s\n\n", id, claim)
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edabench:", err)
+		os.Exit(1)
+	}
+}
+
+func freshDB(dir string) *storage.DB {
+	db, err := storage.Open(storage.Options{Dir: dir})
+	must(err)
+	return db
+}
+
+func tradeSchema() *storage.Schema {
+	s, err := storage.NewSchema("trades", []storage.Column{
+		{Name: "sym", Kind: val.KindString, NotNull: true},
+		{Name: "price", Kind: val.KindFloat, NotNull: true},
+		{Name: "qty", Kind: val.KindInt, NotNull: true},
+	})
+	must(err)
+	return s
+}
+
+func row(i int) map[string]val.Value {
+	return map[string]val.Value{
+		"sym":   val.String(fmt.Sprintf("S%d", i%64)),
+		"price": val.Float(float64(i % 1000)),
+		"qty":   val.Int(int64(i)),
+	}
+}
+
+func n(full, quickN int) int {
+	if *quick {
+		return quickN
+	}
+	return full
+}
+
+func e1() {
+	header("E1", "capture paths: trigger vs journal vs query-diff (§2.2.a)")
+	N := n(50000, 5000)
+	fmt.Println("| capture path | inserts/sec | per-event overhead vs none |")
+	fmt.Println("|---|---|---|")
+
+	db0 := freshDB("")
+	must(db0.CreateTable(tradeSchema()))
+	base, baseNs := rate(N, func(i int) { db0.Insert("trades", row(i)) })
+	db0.Close()
+	fmt.Printf("| none (baseline) | %.0f | — |\n", base)
+
+	db1 := freshDB("")
+	must(db1.CreateTable(tradeSchema()))
+	captured := 0
+	tm := trigger.NewManager(db1, func(*event.Event) { captured++ })
+	_, err := tm.Register(trigger.Def{Name: "cap", Table: "trades", Timing: trigger.After})
+	must(err)
+	trig, trigNs := rate(N, func(i int) { db1.Insert("trades", row(i)) })
+	tm.Close()
+	db1.Close()
+	fmt.Printf("| trigger | %.0f | +%.0f ns |\n", trig, trigNs-baseNs)
+
+	db2 := freshDB("")
+	must(db2.CreateTable(tradeSchema()))
+	sub := journal.NewMiner(db2).Tail(journal.Filter{}, N+1024)
+	jr, jrNs := rate(N, func(i int) { db2.Insert("trades", row(i)) })
+	sub.Cancel()
+	db2.Close()
+	fmt.Printf("| journal tail | %.0f | +%.0f ns |\n", jr, jrNs-baseNs)
+
+	db3 := freshDB("")
+	must(db3.CreateTable(tradeSchema()))
+	d := query.NewDiffer("hot", query.New("trades").Where("price > 990").Select("sym", "price", "qty"), db3, "qty")
+	_, err = d.Poll()
+	must(err)
+	qd, qdNs := rate(N/10, func(i int) {
+		db3.Insert("trades", row(i))
+		_, err := d.Poll()
+		must(err)
+	})
+	db3.Close()
+	fmt.Printf("| query-diff (poll per insert) | %.0f | +%.0f ns |\n", qd, qdNs-baseNs)
+}
+
+func e2() {
+	header("E2", "staging areas: transactional messaging performance (§2.2.b)")
+	N := n(30000, 3000)
+	fmt.Println("| configuration | ops/sec | ns/op |")
+	fmt.Println("|---|---|---|")
+	run := func(name, dir string, batch int) {
+		db := freshDB(dir)
+		qm := queue.NewManager(db)
+		q, err := qm.Create("bench", queue.Config{})
+		must(err)
+		ev := event.New("e", map[string]any{"n": 1})
+		iters := N / batch
+		if iters == 0 {
+			iters = 1
+		}
+		ops, ns := rate(iters, func(i int) {
+			if batch == 1 {
+				_, err := q.Enqueue(ev, queue.EnqueueOptions{})
+				must(err)
+				return
+			}
+			txn := db.Begin()
+			for j := 0; j < batch; j++ {
+				_, err := q.EnqueueTx(txn, ev, queue.EnqueueOptions{})
+				must(err)
+			}
+			_, err := txn.Commit()
+			must(err)
+		})
+		fmt.Printf("| %s | %.0f | %.0f |\n", name, ops*float64(batch), ns/float64(batch))
+		qm.Close()
+		db.Close()
+	}
+	run("enqueue, volatile", "", 1)
+	dir, err := os.MkdirTemp("", "edabench-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	run("enqueue, durable (WAL)", dir, 1)
+	run("enqueue batch=16, volatile", "", 16)
+	run("enqueue batch=256, volatile", "", 256)
+
+	db := freshDB("")
+	qm := queue.NewManager(db)
+	q, err := qm.Create("rt", queue.Config{})
+	must(err)
+	ev := event.New("e", map[string]any{"n": 1})
+	ops, ns := rate(N, func(i int) {
+		_, err := q.Enqueue(ev, queue.EnqueueOptions{})
+		must(err)
+		msg, ok, err := q.Dequeue("c")
+		if err != nil || !ok {
+			must(errors.New("dequeue failed"))
+		}
+		must(q.Ack(msg.Receipt))
+	})
+	fmt.Printf("| enqueue+dequeue+ack, volatile | %.0f | %.0f |\n", ops, ns)
+	qm.Close()
+	db.Close()
+}
+
+func matchTable(kind string, sizes []int, naiveCap int, setup func(indexed bool, size int) func()) {
+	fmt.Printf("| %s | indexed ns/match | naive ns/match | speedup |\n", kind)
+	fmt.Println("|---|---|---|---|")
+	for _, size := range sizes {
+		probeI := setup(true, size)
+		_, nsI := rate(n(20000, 2000), func(int) { probeI() })
+		naiveNs := 0.0
+		if size <= naiveCap {
+			probeN := setup(false, size)
+			reps := n(2000, 200)
+			if size >= 10000 {
+				reps = n(200, 50)
+			}
+			_, naiveNs = rate(reps, func(int) { probeN() })
+			fmt.Printf("| %d | %.0f | %.0f | %.1fx |\n", size, nsI, naiveNs, naiveNs/nsI)
+		} else {
+			fmt.Printf("| %d | %.0f | (skipped) | — |\n", size, nsI)
+		}
+	}
+}
+
+func e3() {
+	header("E3", "indexed subscription matching: expressions as data (§2.2.c.i.2)")
+	sizes := []int{100, 1000, 10000, 100000}
+	if *quick {
+		sizes = []int{100, 1000, 10000}
+	}
+	matchTable("subscriptions", sizes, 10000, func(indexed bool, size int) func() {
+		var br *pubsub.Broker
+		if indexed {
+			br = pubsub.NewBroker()
+		} else {
+			br = pubsub.NewBrokerNaive()
+		}
+		for i := 0; i < size; i++ {
+			filter := fmt.Sprintf("sym = 'S%d' AND price > %d", i%1000, i%500)
+			must(br.Subscribe(fmt.Sprintf("s%d", i), "x", filter, func(pubsub.Delivery) {}))
+		}
+		ev := event.New("trade", map[string]any{"sym": "S7", "price": 600})
+		return func() {
+			_, err := br.MatchOnly(ev)
+			must(err)
+		}
+	})
+}
+
+func e4() {
+	header("E4", "large rule sets (§2.2.c.iv.2.a)")
+	sizes := []int{100, 1000, 10000, 100000}
+	if *quick {
+		sizes = []int{100, 1000, 10000}
+	}
+	matchTable("rules", sizes, 10000, func(indexed bool, size int) func() {
+		e := rules.NewEngine(rules.Options{Indexed: indexed})
+		for i := 0; i < size; i++ {
+			cond := fmt.Sprintf("site = 'site%d' AND level >= %d", i%1000, i%10)
+			_, err := e.Add(fmt.Sprintf("r%d", i), cond, i%3, nil)
+			must(err)
+		}
+		ev := event.New("sensor", map[string]any{"site": "site7", "level": 5})
+		return func() {
+			_, err := e.Match(ev)
+			must(err)
+		}
+	})
+}
+
+func e5() {
+	header("E5", "frequently changing rule sets (§2.2.c.iv.2.b)")
+	fmt.Println("| resident rules | add+match+remove ns | match-only ns |")
+	fmt.Println("|---|---|---|")
+	for _, size := range []int{1000, 10000, 100000} {
+		if *quick && size > 10000 {
+			break
+		}
+		e := rules.NewEngine(rules.Options{Indexed: true})
+		for i := 0; i < size; i++ {
+			_, err := e.Add(fmt.Sprintf("r%d", i), fmt.Sprintf("site = 'site%d' AND level >= %d", i%1000, i%10), 0, nil)
+			must(err)
+		}
+		ev := event.New("sensor", map[string]any{"site": "site7", "level": 5})
+		_, churnNs := rate(n(20000, 2000), func(i int) {
+			name := fmt.Sprintf("c%d", i)
+			_, err := e.Add(name, fmt.Sprintf("site = 'site%d'", i%1000), 0, nil)
+			must(err)
+			_, err = e.Match(ev)
+			must(err)
+			must(e.Remove(name))
+		})
+		_, matchNs := rate(n(20000, 2000), func(int) {
+			_, err := e.Match(ev)
+			must(err)
+		})
+		fmt.Printf("| %d | %.0f | %.0f |\n", size, churnNs, matchNs)
+	}
+}
+
+func e6() {
+	header("E6", "continuous queries: incremental vs recompute (§2.2.c.i.3)")
+	fmt.Println("| window | incremental ns/event | recompute ns/event | speedup |")
+	fmt.Println("|---|---|---|---|")
+	for _, w := range []int{1024, 8192, 65536} {
+		if *quick && w > 8192 {
+			break
+		}
+		mk := func(recompute bool) *cq.CQ {
+			q, err := cq.New(cq.Def{
+				Name:    "bench",
+				GroupBy: []string{"sym"},
+				Aggs: []cq.AggDef{
+					{Alias: "n", Kind: cq.Count},
+					{Alias: "avg", Kind: cq.Avg, Attr: "price"},
+				},
+				Window:    cq.Window{Kind: cq.CountWindow, Size: w},
+				Recompute: recompute,
+			})
+			must(err)
+			gen := workload.NewTrades(1, 8, 100)
+			for i := 0; i < w; i++ {
+				q.Feed(gen.Next())
+			}
+			return q
+		}
+		gen := workload.NewTrades(2, 8, 100)
+		qi := mk(false)
+		_, incNs := rate(n(50000, 5000), func(int) {
+			_, err := qi.Feed(gen.Next())
+			must(err)
+		})
+		qr := mk(true)
+		recReps := n(200000/w+100, 2000000/w+10)
+		_, recNs := rate(recReps, func(int) {
+			_, err := qr.Feed(gen.Next())
+			must(err)
+		})
+		fmt.Printf("| %d | %.0f | %.0f | %.1fx |\n", w, incNs, recNs, recNs/incNs)
+	}
+}
+
+func e7() {
+	header("E7", "CEP pattern matching (§2.2.c.i.3)")
+	fmt.Println("| steps | strategy | ns/event |")
+	fmt.Println("|---|---|---|")
+	for _, steps := range []int{2, 3, 5} {
+		for _, strat := range []cep.Strategy{cep.Strict, cep.SkipTillNext, cep.SkipTillAny} {
+			pb := cep.NewPattern("bench")
+			for s := 0; s < steps; s++ {
+				alias := fmt.Sprintf("s%d", s)
+				guard := "sym = 'SYM000'"
+				if s > 0 {
+					guard = fmt.Sprintf("sym = 'SYM000' AND price > s%d.price", s-1)
+				}
+				pb = pb.Next(alias, "trade", guard)
+			}
+			p, err := pb.Within(time.Minute).Strategy(strat).Build()
+			must(err)
+			m := cep.NewMatcher(p)
+			m.MaxRuns = 512
+			gen := workload.NewTrades(2, 4, 100)
+			_, ns := rate(n(100000, 10000), func(int) { m.Feed(gen.Next()) })
+			fmt.Printf("| %d | %s | %.0f |\n", steps, strat, ns)
+		}
+	}
+}
+
+func e8() {
+	header("E8", "management by exception: false positives vs negatives (§2.1.f)")
+	gen := workload.NewMeters(3, 1)
+	gen.AnomalyRate = 0.01
+	N := n(100000, 20000)
+	xs := make([]float64, N)
+	labels := make([]bool, N)
+	for i := 0; i < N; i++ {
+		r := gen.Next()
+		xs[i] = r.Value
+		labels[i] = r.Anomaly
+	}
+	fmt.Println("| z threshold | precision | recall | F1 | false-positive rate |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, th := range []float64{2, 2.5, 3, 4, 5, 6} {
+		c := analytics.Score(&analytics.ZScore{Threshold: th, MinObservations: 200, Robust: true}, xs, labels)
+		fmt.Printf("| %.1f | %.3f | %.3f | %.3f | %.5f |\n",
+			th, c.Precision(), c.Recall(), c.F1(), c.FalsePositiveRate())
+	}
+}
+
+func e9() {
+	header("E9", "VIRT: information-overload reduction end to end (§1)")
+	fmt.Println("| subscriber selectivity | events in | notifications out | reduction | p50 | p99 |")
+	fmt.Println("|---|---|---|---|---|---|")
+	N := n(200000, 20000)
+	for _, tc := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"level > 11.8 (≈0.1%)", 11.8},
+		{"level > 9 (bursts only)", 9.0},
+		{"level > 2 (noisy)", 2.0},
+	} {
+		eng, err := core.Open(core.Config{})
+		must(err)
+		delivered := 0
+		must(eng.Subscribe("s", "ops", fmt.Sprintf("level > %g", tc.threshold), func(pubsub.Delivery) {
+			delivered++
+		}))
+		gen := workload.NewSensors(4, 16)
+		h := &metrics.LatencyHistogram{}
+		for i := 0; i < N; i++ {
+			ev, _ := gen.Next()
+			start := time.Now()
+			must(eng.Ingest(ev))
+			h.Observe(time.Since(start))
+		}
+		fmt.Printf("| %s | %d | %d | %.1fx | %v | %v |\n",
+			tc.name, N, delivered, float64(N)/float64(max(delivered, 1)),
+			h.Percentile(50), h.Percentile(99))
+		eng.Close()
+	}
+}
+
+func e10() {
+	header("E10", "recoverability: WAL replay on restart (§2.2.b.ii.3)")
+	fmt.Println("| rows | WAL bytes | recovery time | rows/sec |")
+	fmt.Println("|---|---|---|---|")
+	for _, rows := range []int{1000, 10000, 100000} {
+		if *quick && rows > 10000 {
+			break
+		}
+		dir, err := os.MkdirTemp("", "edabench-rec-*")
+		must(err)
+		db := freshDB(dir)
+		s, err := storage.NewSchema("t", []storage.Column{
+			{Name: "k", Kind: val.KindInt, NotNull: true},
+			{Name: "v", Kind: val.KindString},
+		}, "k")
+		must(err)
+		must(db.CreateTable(s))
+		for i := 0; i < rows; i++ {
+			_, err := db.Insert("t", map[string]val.Value{
+				"k": val.Int(int64(i)), "v": val.String("payload-payload"),
+			})
+			must(err)
+		}
+		must(db.Close())
+		var walBytes int64
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			if info, err := e.Info(); err == nil {
+				walBytes += info.Size()
+			}
+		}
+		start := time.Now()
+		db2 := freshDB(dir)
+		el := time.Since(start)
+		tbl, _ := db2.Table("t")
+		if tbl.Len() != rows {
+			must(fmt.Errorf("recovered %d of %d", tbl.Len(), rows))
+		}
+		db2.Close()
+		os.RemoveAll(dir)
+		fmt.Printf("| %d | %d | %v | %.0f |\n", rows, walBytes, el.Round(time.Microsecond),
+			float64(rows)/el.Seconds())
+	}
+}
+
+func e11() {
+	header("E11", "internal vs external evaluation (§2.2.c.iii)")
+	eng, err := core.Open(core.Config{})
+	must(err)
+	defer eng.Close()
+	for i := 0; i < 1000; i++ {
+		must(eng.AddRule(fmt.Sprintf("r%d", i), fmt.Sprintf("sym = 'S%d'", i), 0, nil))
+	}
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
+	_, internalNs := rate(n(100000, 10000), func(int) { must(eng.Ingest(ev)) })
+
+	srv, err := server.Start(eng, "127.0.0.1:0")
+	must(err)
+	defer srv.Close()
+	c, err := server.Dial(srv.Addr())
+	must(err)
+	defer c.Close()
+	_, externalNs := rate(n(20000, 2000), func(int) {
+		_, err := c.Publish(ev)
+		must(err)
+	})
+	fmt.Println("| path | ns/event | ratio |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| internal (in-engine) | %.0f | 1.0x |\n", internalNs)
+	fmt.Printf("| external (TCP client round-trip) | %.0f | %.1fx |\n",
+		externalNs, externalNs/internalNs)
+}
+
+func e12() {
+	header("E12", "distribution: multi-hop staging forwarding (§2.2.d.ii)")
+	fmt.Println("| hops | msgs/sec end-to-end |")
+	fmt.Println("|---|---|")
+	for _, hops := range []int{1, 2, 4} {
+		db := freshDB("")
+		qm := queue.NewManager(db)
+		qs := make([]*queue.Queue, hops+1)
+		for i := range qs {
+			q, err := qm.Create(fmt.Sprintf("hop%d", i), queue.Config{})
+			must(err)
+			qs[i] = q
+		}
+		fwds := make([]*dispatch.Forwarder, hops)
+		for i := 0; i < hops; i++ {
+			fwds[i] = &dispatch.Forwarder{Src: qs[i], Dst: qs[i+1]}
+		}
+		ev := event.New("e", map[string]any{"n": 1})
+		ops, _ := rate(n(20000, 2000), func(int) {
+			_, err := qs[0].Enqueue(ev, queue.EnqueueOptions{})
+			must(err)
+			for _, f := range fwds {
+				_, err := f.Pump(0)
+				must(err)
+			}
+			msg, ok, err := qs[hops].Dequeue("sink")
+			if err != nil || !ok {
+				must(errors.New("lost message"))
+			}
+			must(qs[hops].Ack(msg.Receipt))
+		})
+		fmt.Printf("| %d | %.0f |\n", hops, ops)
+		qm.Close()
+		db.Close()
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

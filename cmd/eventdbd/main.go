@@ -1,0 +1,74 @@
+// Command eventdbd serves an eventdb engine over TCP.
+//
+// Usage:
+//
+//	eventdbd [-addr host:port] [-dir path] [-rule name=condition]...
+//
+// Foreign systems publish JSON events with the line protocol documented
+// in internal/server; matching rules and subscriptions evaluate inside
+// the database process (the paper's "internal evaluation" path).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"eventdb"
+	"eventdb/internal/core"
+	"eventdb/internal/server"
+)
+
+type ruleFlags []string
+
+func (r *ruleFlags) String() string { return strings.Join(*r, ",") }
+
+// Set implements flag.Value.
+func (r *ruleFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	dir := flag.String("dir", "", "data directory (empty = in-memory)")
+	var ruleDefs ruleFlags
+	flag.Var(&ruleDefs, "rule", "rule as name=condition (repeatable); matches are logged")
+	flag.Parse()
+
+	eng, err := core.Open(core.Config{Dir: *dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	for _, def := range ruleDefs {
+		name, cond, ok := strings.Cut(def, "=")
+		if !ok {
+			log.Fatalf("bad -rule %q: want name=condition", def)
+		}
+		err := eng.AddRule(name, cond, 0, func(ev *eventdb.Event, r *eventdb.Rule) {
+			log.Printf("rule %s matched %s", r.Name, ev)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("rule %s: %s", name, cond)
+	}
+
+	srv, err := server.Start(eng, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("eventdbd listening on %s (dir=%q)\n", srv.Addr(), *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+}

@@ -1,0 +1,121 @@
+package eventdb
+
+import (
+	"testing"
+
+	"eventdb/internal/pubsub"
+	"eventdb/internal/val"
+)
+
+// TestPublicAPIQuickstart exercises the documented quickstart flow end
+// to end through the root package only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	eng, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var ruleFired, notified int
+	if err := eng.AddRule("hot", "temp > 30", 0, func(*Event, *Rule) { ruleFired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Subscribe("s", "ops", "temp > 25", func(pubsub.Delivery) { notified++ }); err != nil {
+		t.Fatal(err)
+	}
+	for _, temp := range []float64{20, 28, 35} {
+		if err := eng.Ingest(NewEvent("reading", map[string]any{"temp": temp})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ruleFired != 1 || notified != 2 {
+		t.Errorf("fired=%d notified=%d", ruleFired, notified)
+	}
+}
+
+func TestPublicAPITableCapture(t *testing.T) {
+	eng, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	schema, err := NewSchema("things", []Column{
+		{Name: "name", Kind: val.KindString, NotNull: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.DB.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	var captured int
+	eng.Subscribe("cap", "x", "$type = 'db.things.insert'", func(pubsub.Delivery) { captured++ })
+	if err := eng.CaptureTable("things"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.DB.Insert("things", map[string]val.Value{"name": val.String("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if captured != 1 {
+		t.Errorf("captured = %d", captured)
+	}
+}
+
+func TestPublicAPIQueueFlow(t *testing.T) {
+	eng, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.CreateQueue("out", QueueConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SubscribeQueue("s", "ops", "sev >= 3", "out", 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Ingest(NewEvent("alarm", map[string]any{"sev": 5}))
+	q, _ := eng.Queues.Get("out")
+	msg, ok, err := q.Dequeue("ops")
+	if err != nil || !ok {
+		t.Fatalf("dequeue: %v %v", ok, err)
+	}
+	if v, _ := msg.Event.Get("sev"); !val.Equal(v, val.Int(5)) {
+		t.Errorf("sev = %v", v)
+	}
+	if err := q.Ack(msg.Receipt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIWatchQuery(t *testing.T) {
+	eng, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	schema, _ := NewSchema("inventory", []Column{
+		{Name: "sku", Kind: val.KindString, NotNull: true},
+		{Name: "count", Kind: val.KindInt, NotNull: true},
+	}, "sku")
+	eng.DB.CreateTable(schema)
+	var lowStock int
+	eng.Subscribe("low", "x", "$type = 'query.low.added'", func(pubsub.Delivery) { lowStock++ })
+	w := eng.WatchQuery("low", Query("inventory").Where("count < 10").Select("sku", "count"), "sku")
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := eng.DB.Insert("inventory", map[string]val.Value{
+		"sku": val.String("widget"), "count": val.Int(100),
+	})
+	w.Poll()
+	if lowStock != 0 {
+		t.Error("well-stocked item flagged")
+	}
+	eng.DB.UpdateRow("inventory", id, map[string]val.Value{"count": val.Int(3)})
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if lowStock != 1 {
+		t.Errorf("lowStock = %d", lowStock)
+	}
+}

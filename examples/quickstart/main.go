@@ -1,0 +1,83 @@
+// Quickstart: open an engine, capture table changes as events, evaluate
+// a rule and a subscription, and observe notifications.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventdb"
+	"eventdb/internal/pubsub"
+	"eventdb/internal/val"
+)
+
+func main() {
+	// An in-memory engine; pass Dir to make everything durable.
+	eng, err := eventdb.Open(eventdb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// A rule: conditions are expressions, actions are code.
+	err = eng.AddRule("high-temp", "temp > 30", 10,
+		func(ev *eventdb.Event, r *eventdb.Rule) {
+			fmt.Printf("RULE %s fired: %s\n", r.Name, ev)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A subscription: predicate over event attributes, delivered to a
+	// callback (production code usually delivers to a queue instead).
+	err = eng.Subscribe("ops-sub", "ops", "$type = 'reading' AND temp > 25",
+		func(d pubsub.Delivery) {
+			fmt.Printf("NOTIFY %s: %s\n", d.Subscriber, d.Event)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Push events directly (the capture layer does this for DB changes).
+	for _, temp := range []float64{20, 28, 35} {
+		if err := eng.Ingest(eventdb.NewEvent("reading", map[string]any{"temp": temp})); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Database as message source: create a table, capture its changes.
+	schema, err := eventdb.NewSchema("thermostats", []eventdb.Column{
+		{Name: "room", Kind: val.KindString, NotNull: true},
+		{Name: "setpoint", Kind: val.KindFloat, NotNull: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.DB.CreateTable(schema); err != nil {
+		log.Fatal(err)
+	}
+	err = eng.Subscribe("capture-sub", "ops", "$type = 'db.thermostats.insert'",
+		func(d pubsub.Delivery) {
+			room, _ := d.Event.Get("new_room")
+			fmt.Printf("CAPTURED insert: room=%s\n", room)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.CaptureTable("thermostats"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.DB.Insert("thermostats", map[string]val.Value{
+		"room": val.String("server-room"), "setpoint": val.Float(19),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("---")
+	fmt.Printf("events ingested: %d\n", eng.Ingested())
+	for _, line := range eng.Metrics.Snapshot() {
+		fmt.Println("metric:", line)
+	}
+}

@@ -1,0 +1,377 @@
+// Package cep implements complex event processing: declarative patterns
+// over event streams, the capability the paper identifies continuous
+// queries as the "comprehensive base" for (§2.2.c.i.3).
+//
+// A pattern is a sequence of steps, each matching an event type with an
+// optional guard expression. Guards can reference attributes of the
+// current event (bare names) and of earlier bound steps ("a.price").
+// Negated steps express absence: if a matching event arrives while the
+// run waits for the following positive step, the run dies.
+//
+// Patterns run under one of the standard event-selection strategies:
+//
+//   - Strict: the very next fed event must match the next step.
+//   - SkipTillNext: non-matching events are ignored; the first match
+//     advances the run (single path).
+//   - SkipTillAny: every match forks the run, enumerating all
+//     combinations (bounded by MaxRuns).
+//
+// A WITHIN horizon bounds the time between the first and last events of
+// a match.
+package cep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"eventdb/internal/event"
+	"eventdb/internal/expr"
+	"eventdb/internal/val"
+)
+
+// Strategy selects how non-matching events are treated mid-pattern.
+type Strategy int
+
+// Event-selection strategies.
+const (
+	SkipTillNext Strategy = iota
+	SkipTillAny
+	Strict
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case SkipTillNext:
+		return "skip-till-next"
+	case SkipTillAny:
+		return "skip-till-any"
+	case Strict:
+		return "strict"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Step is one element of a pattern.
+type Step struct {
+	Alias     string
+	EventType string // "" matches any type
+	Guard     string // "" means unconditional
+	Negated   bool
+
+	guard *expr.Predicate
+}
+
+// Pattern is a compiled pattern definition.
+type Pattern struct {
+	Name     string
+	Steps    []Step
+	Within   time.Duration
+	Strategy Strategy
+
+	positive []int // indexes of positive steps, in order
+}
+
+// Builder assembles a Pattern.
+type Builder struct {
+	p   Pattern
+	err error
+}
+
+// NewPattern starts building a pattern.
+func NewPattern(name string) *Builder {
+	return &Builder{p: Pattern{Name: name}}
+}
+
+// Next appends a positive step.
+func (b *Builder) Next(alias, eventType, guard string) *Builder {
+	b.addStep(Step{Alias: alias, EventType: eventType, Guard: guard})
+	return b
+}
+
+// Unless appends a negated (absence) step: while the run waits for the
+// following positive step, an event matching this one kills it.
+func (b *Builder) Unless(alias, eventType, guard string) *Builder {
+	b.addStep(Step{Alias: alias, EventType: eventType, Guard: guard, Negated: true})
+	return b
+}
+
+func (b *Builder) addStep(s Step) {
+	if b.err != nil {
+		return
+	}
+	if s.Alias == "" {
+		b.err = errors.New("cep: step alias required")
+		return
+	}
+	for _, existing := range b.p.Steps {
+		if existing.Alias == s.Alias {
+			b.err = fmt.Errorf("cep: duplicate alias %q", s.Alias)
+			return
+		}
+	}
+	if s.Guard != "" {
+		g, err := expr.Compile(s.Guard)
+		if err != nil {
+			b.err = fmt.Errorf("cep: step %q: %w", s.Alias, err)
+			return
+		}
+		s.guard = g
+	}
+	b.p.Steps = append(b.p.Steps, s)
+}
+
+// Within bounds the time between the first and last matched events.
+func (b *Builder) Within(d time.Duration) *Builder {
+	b.p.Within = d
+	return b
+}
+
+// Strategy sets the event-selection strategy (default SkipTillNext).
+func (b *Builder) Strategy(s Strategy) *Builder {
+	b.p.Strategy = s
+	return b
+}
+
+// Build validates and returns the pattern.
+func (b *Builder) Build() (*Pattern, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := b.p
+	for i, s := range p.Steps {
+		if !s.Negated {
+			p.positive = append(p.positive, i)
+		}
+	}
+	if len(p.positive) == 0 {
+		return nil, errors.New("cep: pattern needs at least one positive step")
+	}
+	if p.Steps[0].Negated {
+		return nil, errors.New("cep: pattern cannot start with a negated step")
+	}
+	if p.Steps[len(p.Steps)-1].Negated {
+		return nil, errors.New("cep: pattern cannot end with a negated step")
+	}
+	return &p, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Pattern {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Match is one completed pattern instance.
+type Match struct {
+	Pattern  string
+	Bindings map[string]*event.Event
+	Start    time.Time
+	End      time.Time
+}
+
+// Event renders the match as a composite event ("cep.<pattern>") whose
+// attributes are the bound events' attributes prefixed by alias.
+func (m *Match) Event() *event.Event {
+	attrs := make(map[string]val.Value)
+	attrs["pattern"] = val.String(m.Pattern)
+	for alias, ev := range m.Bindings {
+		attrs[alias+"_type"] = val.String(ev.Type)
+		attrs[alias+"_id"] = val.Int(int64(ev.ID))
+		for k, v := range ev.Attrs {
+			attrs[alias+"_"+k] = v
+		}
+	}
+	out := &event.Event{
+		ID:     event.NextID(),
+		Type:   "cep." + m.Pattern,
+		Source: "cep",
+		Time:   m.End,
+		Attrs:  attrs,
+	}
+	return out
+}
+
+// run is a partial match.
+type run struct {
+	nextPos  int // index into p.positive
+	bindings []*event.Event
+	start    time.Time
+}
+
+// Matcher feeds a stream through one pattern. Not safe for concurrent
+// use; wrap with a mutex or shard by key externally.
+type Matcher struct {
+	p *Pattern
+	// MaxRuns caps simultaneous partial matches (SkipTillAny can fork
+	// exponentially); oldest runs are dropped beyond it.
+	MaxRuns int
+	runs    []*run
+	dropped uint64
+}
+
+// NewMatcher creates a matcher with a default MaxRuns of 4096.
+func NewMatcher(p *Pattern) *Matcher {
+	return &Matcher{p: p, MaxRuns: 4096}
+}
+
+// Dropped reports how many partial runs were discarded due to MaxRuns.
+func (m *Matcher) Dropped() uint64 { return m.dropped }
+
+// ActiveRuns reports current partial matches (diagnostics).
+func (m *Matcher) ActiveRuns() int { return len(m.runs) }
+
+// Feed processes one event and returns matches completed by it.
+// Events must be fed in nondecreasing time order for WITHIN semantics.
+func (m *Matcher) Feed(ev *event.Event) []*Match {
+	p := m.p
+	var matches []*Match
+	var alive []*run
+
+	// Expire runs that can no longer complete inside the window.
+	if p.Within > 0 {
+		kept := m.runs[:0]
+		for _, r := range m.runs {
+			if ev.Time.Sub(r.start) <= p.Within {
+				kept = append(kept, r)
+			}
+		}
+		m.runs = kept
+	}
+
+	stepMatches := func(si int, r *run) bool {
+		s := &p.Steps[si]
+		if s.EventType != "" && s.EventType != ev.Type {
+			return false
+		}
+		if s.guard != nil {
+			var bindings []*event.Event
+			if r != nil {
+				bindings = r.bindings
+			}
+			ok, err := s.guard.Match(&guardResolver{p: p, bindings: bindings, current: ev})
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	complete := func(r *run) *Match {
+		b := make(map[string]*event.Event, len(p.positive))
+		for i, si := range p.positive {
+			b[p.Steps[si].Alias] = r.bindings[i]
+		}
+		return &Match{
+			Pattern:  p.Name,
+			Bindings: b,
+			Start:    r.start,
+			End:      ev.Time,
+		}
+	}
+
+	advance := func(r *run) (*run, *Match) {
+		nr := &run{
+			nextPos:  r.nextPos + 1,
+			bindings: append(append([]*event.Event(nil), r.bindings...), ev),
+			start:    r.start,
+		}
+		if nr.nextPos == len(p.positive) {
+			return nil, complete(nr)
+		}
+		return nr, nil
+	}
+
+	for _, r := range m.runs {
+		si := p.positive[r.nextPos]
+		// Negated steps guarding this position: any step between the
+		// previous positive step and this one.
+		killed := false
+		lo := 0
+		if r.nextPos > 0 {
+			lo = p.positive[r.nextPos-1] + 1
+		}
+		for ni := lo; ni < si; ni++ {
+			if p.Steps[ni].Negated && stepMatches(ni, r) {
+				killed = true
+				break
+			}
+		}
+		if killed {
+			continue
+		}
+		if stepMatches(si, r) {
+			adv, match := advance(r)
+			if match != nil {
+				matches = append(matches, match)
+			} else {
+				alive = append(alive, adv)
+			}
+			switch p.Strategy {
+			case SkipTillAny:
+				alive = append(alive, r) // fork: also keep waiting
+			case SkipTillNext:
+				// single path: the original run is consumed
+			case Strict:
+				// consumed as well
+			}
+		} else {
+			switch p.Strategy {
+			case Strict:
+				// contiguity violated: run dies
+			default:
+				alive = append(alive, r)
+			}
+		}
+	}
+
+	// Try to start a new run at step 0.
+	if stepMatches(p.positive[0], nil) {
+		r0 := &run{start: ev.Time}
+		adv, match := advance(r0)
+		if match != nil {
+			matches = append(matches, match)
+		} else {
+			alive = append(alive, adv)
+		}
+	}
+
+	if m.MaxRuns > 0 && len(alive) > m.MaxRuns {
+		m.dropped += uint64(len(alive) - m.MaxRuns)
+		alive = alive[len(alive)-m.MaxRuns:]
+	}
+	m.runs = alive
+	return matches
+}
+
+// guardResolver resolves "alias.attr" against bound steps and bare
+// names (plus $-envelope fields) against the current event.
+type guardResolver struct {
+	p        *Pattern
+	bindings []*event.Event
+	current  *event.Event
+}
+
+func (g *guardResolver) Get(name string) (val.Value, bool) {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		alias, attr := name[:i], name[i+1:]
+		for bi, si := range g.p.positive {
+			if bi >= len(g.bindings) {
+				break
+			}
+			if g.p.Steps[si].Alias == alias {
+				return g.bindings[bi].Get(attr)
+			}
+		}
+		// Unbound alias (e.g. guard referencing itself): fall through to
+		// the current event when the alias is the step being tested.
+		return g.current.Get(attr)
+	}
+	return g.current.Get(name)
+}

@@ -1,0 +1,359 @@
+package cep
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"eventdb/internal/event"
+	"eventdb/internal/val"
+)
+
+var t0 = time.Date(2026, 6, 10, 0, 0, 0, 0, time.UTC)
+
+// mk creates an event at t0+offset seconds.
+func mk(typ string, offsetSec int, attrs map[string]any) *event.Event {
+	ev := event.New(typ, attrs)
+	ev.Time = t0.Add(time.Duration(offsetSec) * time.Second)
+	return ev
+}
+
+func feedAll(m *Matcher, evs ...*event.Event) []*Match {
+	var out []*Match
+	for _, ev := range evs {
+		out = append(out, m.Feed(ev)...)
+	}
+	return out
+}
+
+func TestSimpleSequence(t *testing.T) {
+	p := NewPattern("ab").
+		Next("a", "A", "").
+		Next("b", "B", "").
+		MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m,
+		mk("A", 0, nil),
+		mk("X", 1, nil),
+		mk("B", 2, nil),
+	)
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	match := got[0]
+	if match.Bindings["a"].Type != "A" || match.Bindings["b"].Type != "B" {
+		t.Errorf("bindings = %v", match.Bindings)
+	}
+	if !match.Start.Equal(t0) || !match.End.Equal(t0.Add(2*time.Second)) {
+		t.Errorf("start/end = %v/%v", match.Start, match.End)
+	}
+}
+
+func TestGuardsAcrossSteps(t *testing.T) {
+	// Price rises twice consecutively (by symbol guard).
+	p := NewPattern("rise").
+		Next("a", "trade", "sym = 'ACME'").
+		Next("b", "trade", "sym = 'ACME' AND price > a.price").
+		Next("c", "trade", "sym = 'ACME' AND price > b.price").
+		MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m,
+		mk("trade", 0, map[string]any{"sym": "ACME", "price": 10}),
+		mk("trade", 1, map[string]any{"sym": "OTHER", "price": 99}),
+		mk("trade", 2, map[string]any{"sym": "ACME", "price": 11}),
+		mk("trade", 3, map[string]any{"sym": "ACME", "price": 9}), // not a rise
+		mk("trade", 4, map[string]any{"sym": "ACME", "price": 12}),
+	)
+	// skip-till-next from (10,11): 9 ignored? No — skip-till-next only
+	// skips when the step doesn't match; 9 doesn't match (not > 11), so
+	// run survives; 12 completes (10,11,12).
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	prices := []int64{}
+	for _, alias := range []string{"a", "b", "c"} {
+		v, _ := got[0].Bindings[alias].Get("price")
+		n, _ := v.AsInt()
+		prices = append(prices, n)
+	}
+	if prices[0] != 10 || prices[1] != 11 || prices[2] != 12 {
+		t.Errorf("prices = %v", prices)
+	}
+}
+
+func TestWithinWindow(t *testing.T) {
+	p := NewPattern("ab").
+		Next("a", "A", "").
+		Next("b", "B", "").
+		Within(5 * time.Second).
+		MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m,
+		mk("A", 0, nil),
+		mk("B", 10, nil), // too late for first A
+		mk("A", 11, nil),
+		mk("B", 14, nil), // within 5s of second A
+	)
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	if !got[0].Start.Equal(t0.Add(11 * time.Second)) {
+		t.Errorf("matched the expired run: start=%v", got[0].Start)
+	}
+}
+
+func TestStrictContiguity(t *testing.T) {
+	p := NewPattern("ab").
+		Next("a", "A", "").
+		Next("b", "B", "").
+		Strategy(Strict).
+		MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m,
+		mk("A", 0, nil),
+		mk("X", 1, nil), // breaks contiguity
+		mk("B", 2, nil),
+		mk("A", 3, nil),
+		mk("B", 4, nil), // contiguous: matches
+	)
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	if !got[0].Start.Equal(t0.Add(3 * time.Second)) {
+		t.Errorf("wrong run matched: %v", got[0].Start)
+	}
+}
+
+func TestSkipTillAnyForks(t *testing.T) {
+	// a then b: two A's and two B's → 4 combinations... but only pairs
+	// where A precedes B: a1(b1,b2), a2(b1? no, a2 after b1) — order:
+	// A1 A2 B1 B2 → matches: (A1,B1) (A2,B1) (A1,B2) (A2,B2) = 4.
+	p := NewPattern("ab").
+		Next("a", "A", "").
+		Next("b", "B", "").
+		Strategy(SkipTillAny).
+		MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m,
+		mk("A", 0, map[string]any{"n": 1}),
+		mk("A", 1, map[string]any{"n": 2}),
+		mk("B", 2, map[string]any{"n": 3}),
+		mk("B", 3, map[string]any{"n": 4}),
+	)
+	if len(got) != 4 {
+		t.Fatalf("matches = %d, want 4", len(got))
+	}
+	// SkipTillNext yields only sequential non-overlapping starts:
+	// A1→B1 completes; A2→B1 also? each run independent: A1 and A2 both
+	// waiting for B; B1 completes both (single path each) = 2 matches.
+	m2 := NewMatcher(NewPattern("ab").
+		Next("a", "A", "").Next("b", "B", "").
+		Strategy(SkipTillNext).MustBuild())
+	got2 := feedAll(m2,
+		mk("A", 0, map[string]any{"n": 1}),
+		mk("A", 1, map[string]any{"n": 2}),
+		mk("B", 2, map[string]any{"n": 3}),
+		mk("B", 3, map[string]any{"n": 4}),
+	)
+	if len(got2) != 2 {
+		t.Fatalf("skip-till-next matches = %d, want 2", len(got2))
+	}
+}
+
+func TestNegation(t *testing.T) {
+	// order → shipped with no cancel in between.
+	p := NewPattern("fulfilled").
+		Next("o", "order", "").
+		Unless("c", "cancel", "c.oid = o.oid").
+		Next("s", "shipped", "s.oid = o.oid").
+		MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m,
+		mk("order", 0, map[string]any{"oid": 1}),
+		mk("cancel", 1, map[string]any{"oid": 1}),
+		mk("shipped", 2, map[string]any{"oid": 1}), // cancelled: no match
+		mk("order", 3, map[string]any{"oid": 2}),
+		mk("cancel", 4, map[string]any{"oid": 99}), // other order's cancel
+		mk("shipped", 5, map[string]any{"oid": 2}), // match
+	)
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	v, _ := got[0].Bindings["o"].Get("oid")
+	if !val.Equal(v, val.Int(2)) {
+		t.Errorf("matched order %v", v)
+	}
+}
+
+func TestMatchEventRendering(t *testing.T) {
+	p := NewPattern("ab").
+		Next("a", "A", "").
+		Next("b", "B", "").
+		MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m,
+		mk("A", 0, map[string]any{"x": 1}),
+		mk("B", 1, map[string]any{"y": 2}),
+	)
+	if len(got) != 1 {
+		t.Fatal("no match")
+	}
+	ev := got[0].Event()
+	if ev.Type != "cep.ab" {
+		t.Errorf("type = %q", ev.Type)
+	}
+	if v, _ := ev.Get("a_x"); !val.Equal(v, val.Int(1)) {
+		t.Errorf("a_x = %v", v)
+	}
+	if v, _ := ev.Get("b_y"); !val.Equal(v, val.Int(2)) {
+		t.Errorf("b_y = %v", v)
+	}
+	if v, _ := ev.Get("pattern"); !val.Equal(v, val.String("ab")) {
+		t.Errorf("pattern attr = %v", v)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewPattern("x").Build(); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := NewPattern("x").Next("", "A", "").Build(); err == nil {
+		t.Error("empty alias accepted")
+	}
+	if _, err := NewPattern("x").Next("a", "A", "").Next("a", "B", "").Build(); err == nil {
+		t.Error("duplicate alias accepted")
+	}
+	if _, err := NewPattern("x").Next("a", "A", "((").Build(); err == nil {
+		t.Error("bad guard accepted")
+	}
+	if _, err := NewPattern("x").Unless("n", "N", "").Next("a", "A", "").Build(); err == nil {
+		t.Error("leading negation accepted")
+	}
+	if _, err := NewPattern("x").Next("a", "A", "").Unless("n", "N", "").Build(); err == nil {
+		t.Error("trailing negation accepted")
+	}
+}
+
+func TestMaxRunsBound(t *testing.T) {
+	p := NewPattern("ab").
+		Next("a", "A", "").
+		Next("b", "B", "").
+		Strategy(SkipTillAny).
+		MustBuild()
+	m := NewMatcher(p)
+	m.MaxRuns = 10
+	for i := 0; i < 100; i++ {
+		m.Feed(mk("A", i, nil))
+	}
+	if m.ActiveRuns() > 10 {
+		t.Errorf("runs = %d, exceeds cap", m.ActiveRuns())
+	}
+	if m.Dropped() == 0 {
+		t.Error("expected dropped runs")
+	}
+}
+
+// TestSkipTillAnyAgainstBruteForce cross-checks the NFA against a
+// brute-force subsequence enumerator on random streams.
+func TestSkipTillAnyAgainstBruteForce(t *testing.T) {
+	p := NewPattern("abc").
+		Next("a", "A", "").
+		Next("b", "B", "b.v > a.v").
+		Next("c", "C", "c.v > b.v").
+		Strategy(SkipTillAny).
+		Within(10 * time.Second).
+		MustBuild()
+
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var evs []*event.Event
+		for i := 0; i < 18; i++ {
+			typ := []string{"A", "B", "C"}[rng.Intn(3)]
+			evs = append(evs, mk(typ, i, map[string]any{"v": rng.Intn(6)}))
+		}
+		m := NewMatcher(p)
+		m.MaxRuns = 1 << 20
+		nfa := len(feedAll(m, evs...))
+
+		// Brute force: all index triples i<j<k.
+		brute := 0
+		getV := func(e *event.Event) int64 {
+			v, _ := e.Get("v")
+			n, _ := v.AsInt()
+			return n
+		}
+		for i := 0; i < len(evs); i++ {
+			if evs[i].Type != "A" {
+				continue
+			}
+			for j := i + 1; j < len(evs); j++ {
+				if evs[j].Type != "B" || getV(evs[j]) <= getV(evs[i]) {
+					continue
+				}
+				for k := j + 1; k < len(evs); k++ {
+					if evs[k].Type != "C" || getV(evs[k]) <= getV(evs[j]) {
+						continue
+					}
+					if evs[k].Time.Sub(evs[i].Time) <= 10*time.Second {
+						brute++
+					}
+				}
+			}
+		}
+		if nfa != brute {
+			t.Errorf("seed %d: nfa=%d brute=%d", seed, nfa, brute)
+		}
+	}
+}
+
+func TestAnyEventTypeStep(t *testing.T) {
+	p := NewPattern("anything").
+		Next("a", "", "v > 5").
+		MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m,
+		mk("X", 0, map[string]any{"v": 3}),
+		mk("Y", 1, map[string]any{"v": 7}),
+	)
+	if len(got) != 1 || got[0].Bindings["a"].Type != "Y" {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestSingleStepPatternEveryMatch(t *testing.T) {
+	p := NewPattern("one").Next("a", "A", "").MustBuild()
+	m := NewMatcher(p)
+	got := feedAll(m, mk("A", 0, nil), mk("A", 1, nil), mk("B", 2, nil))
+	if len(got) != 2 {
+		t.Errorf("matches = %d, want 2", len(got))
+	}
+}
+
+func TestManyPatternsThroughput(t *testing.T) {
+	// Smoke test that a batch of matchers handles a burst without
+	// unbounded growth.
+	var ms []*Matcher
+	for i := 0; i < 10; i++ {
+		p := NewPattern(fmt.Sprintf("p%d", i)).
+			Next("a", "trade", fmt.Sprintf("sym = 'S%d'", i)).
+			Next("b", "trade", fmt.Sprintf("sym = 'S%d' AND price > a.price", i)).
+			Within(time.Minute).
+			MustBuild()
+		ms = append(ms, NewMatcher(p))
+	}
+	for i := 0; i < 1000; i++ {
+		ev := mk("trade", i, map[string]any{
+			"sym":   fmt.Sprintf("S%d", i%10),
+			"price": i % 17,
+		})
+		for _, m := range ms {
+			m.Feed(ev)
+		}
+	}
+	for _, m := range ms {
+		if m.ActiveRuns() > 4096 {
+			t.Errorf("runs grew unbounded: %d", m.ActiveRuns())
+		}
+	}
+}

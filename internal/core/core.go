@@ -1,0 +1,256 @@
+// Package core wires the substrates into the paper's event-driven
+// architecture: capture (triggers, journal mining, query differs) →
+// staging (queues) → evaluation (rules, pub/sub, CEP, continuous
+// queries, analytics/models) → consumption (dispatch, forwarding,
+// external services), with security and auditing across every stage.
+//
+// The Engine is the deliverable a downstream user adopts; the root
+// package eventdb re-exports it as the public API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"eventdb/internal/audit"
+	"eventdb/internal/event"
+	"eventdb/internal/journal"
+	"eventdb/internal/metrics"
+	"eventdb/internal/pubsub"
+	"eventdb/internal/query"
+	"eventdb/internal/queue"
+	"eventdb/internal/rules"
+	"eventdb/internal/security"
+	"eventdb/internal/storage"
+	"eventdb/internal/trigger"
+)
+
+// Config configures Open.
+type Config struct {
+	// Dir enables durability (WAL, recoverable queues/tables). Empty
+	// means fully in-memory.
+	Dir string
+	// SyncEvery controls WAL fsync cadence (0 = batched by the OS).
+	SyncEvery int
+	// Secure installs a deny-by-default ACL guard; when false, all
+	// principal-checked operations are allowed.
+	Secure bool
+	// AuditTable, when non-empty, records engine operations to an audit
+	// trail table of this name.
+	AuditTable string
+}
+
+// Engine is the assembled event-processing platform.
+type Engine struct {
+	DB       *storage.DB
+	Queues   *queue.Manager
+	Triggers *trigger.Manager
+	Miner    *journal.Miner
+	Broker   *pubsub.Broker
+	Rules    *rules.Engine
+	Metrics  *metrics.Registry
+	Guard    *security.Guard
+	Trail    *audit.Trail
+
+	ingestCount atomic.Uint64
+	closed      atomic.Bool
+}
+
+// Open assembles an engine.
+func Open(cfg Config) (*Engine, error) {
+	db, err := storage.Open(storage.Options{Dir: cfg.Dir, SyncEvery: cfg.SyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		DB:      db,
+		Queues:  queue.NewManager(db),
+		Miner:   journal.NewMiner(db),
+		Broker:  pubsub.NewBroker(),
+		Rules:   rules.NewEngine(rules.Options{Indexed: true}),
+		Metrics: metrics.NewRegistry(),
+		Guard:   security.NewGuard(),
+	}
+	if !cfg.Secure {
+		e.Guard.DefaultAllow = true
+	}
+	if cfg.AuditTable != "" {
+		tr, err := audit.NewTrail(db, cfg.AuditTable)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		e.Trail = tr
+	}
+	// Trigger-captured events flow into the standard ingest path.
+	e.Triggers = trigger.NewManager(db, func(ev *event.Event) {
+		if err := e.Ingest(ev); err != nil {
+			e.Metrics.Counter("ingest.errors").Inc()
+		}
+	})
+	return e, nil
+}
+
+// Close shuts the engine down, flushing the WAL.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	e.Triggers.Close()
+	e.Queues.Close()
+	return e.DB.Close()
+}
+
+// Ingest pushes one event through the evaluation layer: rules fire
+// first (highest priority first), then pub/sub delivers to subscribers.
+// This is the paper's core flow — events in, valuable information out.
+func (e *Engine) Ingest(ev *event.Event) error {
+	if ev == nil {
+		return errors.New("core: nil event")
+	}
+	start := time.Now()
+	e.ingestCount.Add(1)
+	e.Metrics.Counter("events.in").Inc()
+	if _, err := e.Rules.Eval(ev); err != nil {
+		return fmt.Errorf("core: rules: %w", err)
+	}
+	n, err := e.Broker.Publish(ev)
+	if err != nil {
+		return fmt.Errorf("core: publish: %w", err)
+	}
+	e.Metrics.Counter("events.delivered").Add(uint64(n))
+	e.Metrics.Histogram("ingest.latency").Observe(time.Since(start))
+	return nil
+}
+
+// IngestAs is Ingest gated by the ACL guard (ActPublish on
+// "events/<type>") and audited.
+func (e *Engine) IngestAs(principal string, ev *event.Event) error {
+	resource := "events/" + ev.Type
+	if err := e.Guard.Check(principal, security.ActPublish, resource); err != nil {
+		if e.Trail != nil {
+			e.Trail.Record(principal, "publish.denied", resource, "")
+		}
+		return err
+	}
+	if e.Trail != nil {
+		if err := e.Trail.Record(principal, "publish", resource, ev.String()); err != nil {
+			return err
+		}
+	}
+	return e.Ingest(ev)
+}
+
+// Ingested reports the number of events pushed through Ingest.
+func (e *Engine) Ingested() uint64 { return e.ingestCount.Load() }
+
+// CaptureTable installs an AFTER trigger on a table so every committed
+// change enters the ingest path as a "db.<table>.<op>" event — capture
+// path 1 of the paper.
+func (e *Engine) CaptureTable(table string) error {
+	_, err := e.Triggers.Register(trigger.Def{
+		Name:   "capture_" + table,
+		Table:  table,
+		Timing: trigger.After,
+	})
+	return err
+}
+
+// TailJournal starts live journal capture (capture path 2) into the
+// ingest path, returning a stop function. Journal events go through the
+// same pipeline as trigger capture, so downstream logic is agnostic to
+// the capture mechanism.
+func (e *Engine) TailJournal(f journal.Filter, buffer int) (stop func()) {
+	sub := e.Miner.Tail(f, buffer)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case ev, ok := <-sub.C:
+				if !ok {
+					return
+				}
+				if err := e.Ingest(ev); err != nil {
+					e.Metrics.Counter("ingest.errors").Inc()
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		sub.Cancel()
+	}
+}
+
+// WatchedQuery is a query differ bound to the ingest path (capture
+// path 3).
+type WatchedQuery struct {
+	differ *query.Differ
+	engine *Engine
+}
+
+// WatchQuery creates a watched query; call Poll on a schedule. Result-
+// set changes become "query.<name>.<added|removed|changed>" events.
+func (e *Engine) WatchQuery(name string, q *query.Query, keyCols ...string) *WatchedQuery {
+	return &WatchedQuery{differ: query.NewDiffer(name, q, e.DB, keyCols...), engine: e}
+}
+
+// Poll evaluates the query and ingests any result-set change events,
+// returning how many were produced.
+func (w *WatchedQuery) Poll() (int, error) {
+	evs, err := w.differ.PollEvents()
+	if err != nil {
+		return 0, err
+	}
+	for _, ev := range evs {
+		if err := w.engine.Ingest(ev); err != nil {
+			return 0, err
+		}
+	}
+	return len(evs), nil
+}
+
+// CreateQueue makes a staging area (durable when the engine is).
+func (e *Engine) CreateQueue(name string, cfg queue.Config) (*queue.Queue, error) {
+	return e.Queues.Create(name, cfg)
+}
+
+// SubscribeQueue routes matching events into a staging queue.
+func (e *Engine) SubscribeQueue(subID, subscriber, filter, queueName string, priority int) error {
+	q, ok := e.Queues.Get(queueName)
+	if !ok {
+		return fmt.Errorf("core: no queue %q", queueName)
+	}
+	return e.Broker.SubscribeQueue(subID, subscriber, filter, q, priority)
+}
+
+// Subscribe routes matching events to a callback.
+func (e *Engine) Subscribe(subID, subscriber, filter string, h pubsub.Handler) error {
+	return e.Broker.Subscribe(subID, subscriber, filter, h)
+}
+
+// SubscribeAs is Subscribe gated by the ACL guard and audited.
+func (e *Engine) SubscribeAs(principal, subID, filter string, h pubsub.Handler) error {
+	if err := e.Guard.Check(principal, security.ActSubscribe, "subscriptions"); err != nil {
+		if e.Trail != nil {
+			e.Trail.Record(principal, "subscribe.denied", "subscriptions", subID)
+		}
+		return err
+	}
+	if e.Trail != nil {
+		if err := e.Trail.Record(principal, "subscribe", "subscriptions", subID+" "+filter); err != nil {
+			return err
+		}
+	}
+	return e.Broker.Subscribe(subID, principal, filter, h)
+}
+
+// AddRule installs a rule in the engine's indexed rule set.
+func (e *Engine) AddRule(name, condition string, priority int, action rules.Action) error {
+	_, err := e.Rules.Add(name, condition, priority, action)
+	return err
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eventdb/internal/event"
+	"eventdb/internal/journal"
+	"eventdb/internal/pubsub"
+	"eventdb/internal/query"
+	"eventdb/internal/queue"
+	"eventdb/internal/rules"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+func open(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func readingsSchema(t *testing.T) *storage.Schema {
+	t.Helper()
+	s, err := storage.NewSchema("readings", []storage.Column{
+		{Name: "meter", Kind: val.KindString, NotNull: true},
+		{Name: "kwh", Kind: val.KindFloat, NotNull: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIngestRulesAndSubscriptions(t *testing.T) {
+	e := open(t, Config{})
+	var ruleFired, delivered int
+	e.AddRule("hot", "temp > 30", 0, func(*event.Event, *rules.Rule) { ruleFired++ })
+	e.Subscribe("s1", "ops", "temp > 30", func(pubsub.Delivery) { delivered++ })
+
+	if err := e.Ingest(event.New("reading", map[string]any{"temp": 35})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(event.New("reading", map[string]any{"temp": 20})); err != nil {
+		t.Fatal(err)
+	}
+	if ruleFired != 1 || delivered != 1 {
+		t.Errorf("fired=%d delivered=%d", ruleFired, delivered)
+	}
+	if e.Ingested() != 2 {
+		t.Errorf("ingested = %d", e.Ingested())
+	}
+	if err := e.Ingest(nil); err == nil {
+		t.Error("nil event accepted")
+	}
+}
+
+func TestCaptureTableTriggerPath(t *testing.T) {
+	e := open(t, Config{})
+	if err := e.DB.CreateTable(readingsSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	var captured []*event.Event
+	e.Subscribe("cap", "x", "$type LIKE 'db.readings.%'", func(d pubsub.Delivery) {
+		captured = append(captured, d.Event)
+	})
+	if err := e.CaptureTable("readings"); err != nil {
+		t.Fatal(err)
+	}
+	e.DB.Insert("readings", map[string]val.Value{
+		"meter": val.String("m1"), "kwh": val.Float(5),
+	})
+	if len(captured) != 1 || captured[0].Type != "db.readings.insert" {
+		t.Fatalf("captured = %v", captured)
+	}
+	if v, _ := captured[0].Get("new_kwh"); !val.Equal(v, val.Float(5)) {
+		t.Errorf("new_kwh = %v", v)
+	}
+}
+
+func TestJournalCapturePath(t *testing.T) {
+	e := open(t, Config{Dir: t.TempDir()})
+	if err := e.DB.CreateTable(readingsSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	var captured atomic.Int64
+	e.Subscribe("cap", "x", "$type LIKE 'journal.readings.%'", func(pubsub.Delivery) {
+		captured.Add(1)
+	})
+	stop := e.TailJournal(journal.Filter{Tables: []string{"readings"}}, 64)
+	defer stop()
+	e.DB.Insert("readings", map[string]val.Value{
+		"meter": val.String("m1"), "kwh": val.Float(5),
+	})
+	deadline := time.After(2 * time.Second)
+	for captured.Load() < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("journal capture timed out")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestQueryCapturePath(t *testing.T) {
+	e := open(t, Config{})
+	if err := e.DB.CreateTable(readingsSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	var captured []*event.Event
+	e.Subscribe("cap", "x", "$type LIKE 'query.hot.%'", func(d pubsub.Delivery) {
+		captured = append(captured, d.Event)
+	})
+	w := e.WatchQuery("hot", query.New("readings").Where("kwh > 10").Select("meter", "kwh"), "meter")
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	e.DB.Insert("readings", map[string]val.Value{
+		"meter": val.String("m1"), "kwh": val.Float(50),
+	})
+	n, err := w.Poll()
+	if err != nil || n != 1 {
+		t.Fatalf("poll: n=%d err=%v", n, err)
+	}
+	if len(captured) != 1 || captured[0].Type != "query.hot.added" {
+		t.Fatalf("captured = %v", captured)
+	}
+}
+
+func TestQueueSubscriptionEndToEnd(t *testing.T) {
+	e := open(t, Config{})
+	if _, err := e.CreateQueue("alerts", queue.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubscribeQueue("s", "ops", "sev >= 2", "alerts", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubscribeQueue("s2", "ops", "", "missing", 0); err == nil {
+		t.Error("subscribe to missing queue accepted")
+	}
+	e.Ingest(event.New("alarm", map[string]any{"sev": 3}))
+	e.Ingest(event.New("alarm", map[string]any{"sev": 1}))
+	q, _ := e.Queues.Get("alerts")
+	msg, ok, err := q.Dequeue("ops")
+	if err != nil || !ok {
+		t.Fatalf("dequeue: %v %v", ok, err)
+	}
+	if v, _ := msg.Event.Get("sev"); !val.Equal(v, val.Int(3)) {
+		t.Errorf("sev = %v", v)
+	}
+	if _, ok, _ := q.Dequeue("ops"); ok {
+		t.Error("filtered event was enqueued")
+	}
+}
+
+func TestSecurityAndAudit(t *testing.T) {
+	e := open(t, Config{Secure: true, AuditTable: "audit"})
+	// Deny by default.
+	ev := event.New("alarm", map[string]any{"sev": 1})
+	if err := e.IngestAs("mallory", ev); err == nil {
+		t.Fatal("unauthorized ingest accepted")
+	}
+	if err := e.SubscribeAs("mallory", "s", "", func(pubsub.Delivery) {}); err == nil {
+		t.Fatal("unauthorized subscribe accepted")
+	}
+	// Grant and retry.
+	e.Guard.Grant("alice", "publish", "events/alarm")
+	e.Guard.Grant("alice", "subscribe", "subscriptions")
+	if err := e.SubscribeAs("alice", "s", "", func(pubsub.Delivery) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestAs("alice", ev); err != nil {
+		t.Fatal(err)
+	}
+	// Audit trail recorded both denials and grants.
+	entries, err := e.Trail.Entries("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := map[string]int{}
+	for _, en := range entries {
+		actions[en.Action]++
+	}
+	if actions["publish.denied"] != 1 || actions["subscribe.denied"] != 1 ||
+		actions["publish"] != 1 || actions["subscribe"] != 1 {
+		t.Errorf("audit actions = %v", actions)
+	}
+}
+
+func TestEngineDurability(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DB.CreateTable(readingsSchema(t))
+	e.CreateQueue("alerts", queue.Config{})
+	q, _ := e.Queues.Get("alerts")
+	q.Enqueue(event.New("alarm", map[string]any{"sev": 9}), queue.EnqueueOptions{})
+	e.DB.Insert("readings", map[string]val.Value{
+		"meter": val.String("m1"), "kwh": val.Float(1),
+	})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is safe.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	tbl, ok := e2.DB.Table("readings")
+	if !ok || tbl.Len() != 1 {
+		t.Error("table lost across restart")
+	}
+	q2, err := e2.Queues.Open("alerts", queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, ok, err := q2.Dequeue("ops")
+	if err != nil || !ok {
+		t.Fatalf("message lost across restart: %v %v", ok, err)
+	}
+	if v, _ := msg.Event.Get("sev"); !val.Equal(v, val.Int(9)) {
+		t.Errorf("sev = %v", v)
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	e := open(t, Config{})
+	e.Ingest(event.New("x", nil))
+	found := false
+	for _, line := range e.Metrics.Snapshot() {
+		if line == "events.in 1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("metrics = %v", e.Metrics.Snapshot())
+	}
+}

@@ -1,0 +1,281 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eventdb/internal/val"
+)
+
+func TestNextIDMonotonic(t *testing.T) {
+	a, b := NextID(), NextID()
+	if b <= a {
+		t.Errorf("ids not increasing: %d then %d", a, b)
+	}
+}
+
+func TestNewAndGet(t *testing.T) {
+	e := New("trade", map[string]any{"symbol": "ACME", "price": 101.5, "qty": 300})
+	if e.Type != "trade" || e.ID == 0 || e.Time.IsZero() {
+		t.Fatalf("envelope not populated: %+v", e)
+	}
+	if v, ok := e.Get("symbol"); !ok || !val.Equal(v, val.String("ACME")) {
+		t.Errorf("Get(symbol) = %v, %v", v, ok)
+	}
+	if _, ok := e.Get("missing"); ok {
+		t.Error("Get(missing) should report !ok")
+	}
+	// Pseudo-attributes.
+	if v, ok := e.Get("$type"); !ok || !val.Equal(v, val.String("trade")) {
+		t.Errorf("Get($type) = %v", v)
+	}
+	if v, ok := e.Get("$id"); !ok || !val.Equal(v, val.Int(int64(e.ID))) {
+		t.Errorf("Get($id) = %v", v)
+	}
+	if _, ok := e.Get("$time"); !ok {
+		t.Error("Get($time) should succeed")
+	}
+	if _, ok := e.Get("$source"); !ok {
+		t.Error("Get($source) should succeed")
+	}
+}
+
+func TestNewCheckedRejectsBadTypes(t *testing.T) {
+	if _, err := NewChecked("x", map[string]any{"bad": struct{}{}}); err == nil {
+		t.Error("expected conversion error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New should panic on bad attr type")
+		}
+	}()
+	New("x", map[string]any{"bad": make(chan int)})
+}
+
+func TestWithAttrAndClone(t *testing.T) {
+	e := New("a", map[string]any{"k": 1})
+	e2 := e.WithAttr("k", val.Int(2))
+	if v, _ := e.Get("k"); !val.Equal(v, val.Int(1)) {
+		t.Error("WithAttr mutated original")
+	}
+	if v, _ := e2.Get("k"); !val.Equal(v, val.Int(2)) {
+		t.Error("WithAttr did not set value")
+	}
+	c := e.Clone()
+	c.Attrs["k"] = val.Int(99)
+	if v, _ := e.Get("k"); !val.Equal(v, val.Int(1)) {
+		t.Error("Clone shares attribute map")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	e := New("t", map[string]any{"b": 2, "a": 1, "c": 3})
+	s := e.String()
+	if !strings.Contains(s, "a=1, b=2, c=3") {
+		t.Errorf("String() not sorted: %s", s)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s, err := NewSchema("reading",
+		Field{Name: "meter", Kind: val.KindString, Required: true},
+		Field{Name: "kwh", Kind: val.KindFloat, Required: true},
+		Field{Name: "note", Kind: val.KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := New("reading", map[string]any{"meter": "m1", "kwh": 1.5})
+	if err := s.Validate(ok); err != nil {
+		t.Errorf("valid event rejected: %v", err)
+	}
+	// Int satisfies a float field (numeric coercion).
+	okInt := New("reading", map[string]any{"meter": "m1", "kwh": 2})
+	if err := s.Validate(okInt); err != nil {
+		t.Errorf("numeric coercion rejected: %v", err)
+	}
+	missing := New("reading", map[string]any{"meter": "m1"})
+	if err := s.Validate(missing); err == nil {
+		t.Error("missing required attribute accepted")
+	}
+	wrongKind := New("reading", map[string]any{"meter": 7, "kwh": 1.0})
+	if err := s.Validate(wrongKind); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	wrongType := New("other", map[string]any{"meter": "m1", "kwh": 1.0})
+	if err := s.Validate(wrongType); err == nil {
+		t.Error("wrong event type accepted")
+	}
+	nullReq := New("reading", map[string]any{"meter": nil, "kwh": 1.0})
+	if err := s.Validate(nullReq); err == nil {
+		t.Error("null required attribute accepted")
+	}
+	// Optional fields may be absent or null.
+	withNote := New("reading", map[string]any{"meter": "m", "kwh": 1.0, "note": nil})
+	if err := s.Validate(withNote); err != nil {
+		t.Errorf("null optional rejected: %v", err)
+	}
+}
+
+func TestSchemaConstructionErrors(t *testing.T) {
+	if _, err := NewSchema("x", Field{Name: ""}); err == nil {
+		t.Error("empty field name accepted")
+	}
+	if _, err := NewSchema("x", Field{Name: "a"}, Field{Name: "a"}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := &Event{
+		ID:     42,
+		Type:   "t.x",
+		Source: "src-1",
+		Time:   time.Date(2026, 6, 10, 1, 2, 3, 400, time.UTC),
+		Attrs: map[string]val.Value{
+			"s":  val.String("hello"),
+			"i":  val.Int(-7),
+			"f":  val.Float(2.5),
+			"b":  val.Bool(true),
+			"by": val.Bytes([]byte{1, 2, 3}),
+			"t":  val.Time(time.Unix(100, 5).UTC()),
+			"n":  val.Null,
+		},
+	}
+	buf := Encode(nil, e)
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.ID != e.ID || got.Type != e.Type || got.Source != e.Source || !got.Time.Equal(e.Time) {
+		t.Errorf("envelope mismatch: %+v vs %+v", got, e)
+	}
+	if len(got.Attrs) != len(e.Attrs) {
+		t.Fatalf("attr count %d vs %d", len(got.Attrs), len(e.Attrs))
+	}
+	for k, want := range e.Attrs {
+		gv, ok := got.Attrs[k]
+		if !ok {
+			t.Errorf("missing attr %q", k)
+			continue
+		}
+		if want.IsNull() {
+			if !gv.IsNull() {
+				t.Errorf("attr %q: got %v want null", k, gv)
+			}
+			continue
+		}
+		if !val.Equal(gv, want) {
+			t.Errorf("attr %q: got %v want %v", k, gv, want)
+		}
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	e1 := New("t", map[string]any{"a": 1, "b": 2})
+	e2 := e1.Clone()
+	if string(Encode(nil, e1)) != string(Encode(nil, e2)) {
+		t.Error("encoding not canonical across clones")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	e := New("t", map[string]any{"a": 1})
+	buf := Encode(nil, e)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := Decode(buf[:cut]); err == nil {
+			// Some prefixes may decode if attr count is reached early;
+			// only the full buffer is guaranteed valid. Skip those.
+			got, n, _ := Decode(buf[:cut])
+			if got != nil && n == cut {
+				continue
+			}
+			t.Errorf("truncated decode at %d succeeded incorrectly", cut)
+		}
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("decode of empty buffer should fail")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(typ, src, key string, iv int64, sv string) bool {
+		e := &Event{
+			ID:     NextID(),
+			Type:   typ,
+			Source: src,
+			Time:   time.Unix(0, iv).UTC(),
+			Attrs: map[string]val.Value{
+				key:          val.Int(iv),
+				key + "\x00": val.String(sv),
+			},
+		}
+		buf := Encode(nil, e)
+		got, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return got.Type == typ && got.Source == src && len(got.Attrs) == len(e.Attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	e := New("trade", map[string]any{
+		"symbol": "ACME", "price": 99.25, "qty": 10, "flag": true, "note": nil,
+	})
+	e.Source = "feed-1"
+	data, err := MarshalJSONEvent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalJSONEvent(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != "trade" || got.Source != "feed-1" || got.ID != e.ID {
+		t.Errorf("envelope mismatch: %+v", got)
+	}
+	if v, _ := got.Get("qty"); !val.Equal(v, val.Int(10)) {
+		t.Errorf("integral JSON number should be int, got %v (%s)", v, v.Kind())
+	}
+	if v, _ := got.Get("price"); !val.Equal(v, val.Float(99.25)) {
+		t.Errorf("price = %v", v)
+	}
+	if v, _ := got.Get("flag"); !val.Equal(v, val.Bool(true)) {
+		t.Errorf("flag = %v", v)
+	}
+}
+
+func TestUnmarshalJSONForeign(t *testing.T) {
+	// A foreign producer that knows nothing of our ID scheme.
+	got, err := UnmarshalJSONEvent([]byte(`{"type":"alert","attrs":{"level":3,"msg":"hot"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID == 0 {
+		t.Error("missing ID should be assigned")
+	}
+	if got.Time.IsZero() {
+		t.Error("missing time should default to now")
+	}
+	if _, err := UnmarshalJSONEvent([]byte(`{"attrs":{}}`)); err == nil {
+		t.Error("missing type should fail")
+	}
+	if _, err := UnmarshalJSONEvent([]byte(`{`)); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := UnmarshalJSONEvent([]byte(`{"type":"x","time":"not-a-time"}`)); err == nil {
+		t.Error("bad time should fail")
+	}
+	if _, err := UnmarshalJSONEvent([]byte(`{"type":"x","attrs":{"o":{"nested":1}}}`)); err == nil {
+		t.Error("nested object attr should fail")
+	}
+}

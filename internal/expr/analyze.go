@@ -1,0 +1,171 @@
+package expr
+
+import (
+	"math"
+
+	"eventdb/internal/val"
+)
+
+// Predicate analysis: extract indexable conjuncts so that large
+// collections of stored expressions (subscriptions, rules) can be
+// pre-filtered by attribute indexes instead of evaluated one by one.
+// This is the mechanism behind the paper's claim that databases can
+// "significantly extend traditional publish/subscribe technology" by
+// treating expressions as data (§2.2.c.i.2).
+
+// EqPred is a top-level conjunct of the form field = literal.
+type EqPred struct {
+	Field string
+	Value val.Value
+}
+
+// RangePred is a top-level conjunct constraining field to an interval.
+// Unbounded ends are ±Inf for numerics, or have Unbounded set.
+type RangePred struct {
+	Field          string
+	Lo, Hi         val.Value
+	LoOpen, HiOpen bool // strict inequality
+	LoUnbounded    bool
+	HiUnbounded    bool
+}
+
+// analyze walks the top-level AND conjuncts and extracts equality and
+// range predicates over bare fields with literal operands. The full
+// expression remains the source of truth: the index is only a
+// pre-filter, so extraction is conservative (anything uncertain is
+// simply not extracted).
+func analyze(root Node) ([]EqPred, []RangePred) {
+	var eqs []EqPred
+	ranges := map[string]*RangePred{}
+	for _, c := range Conjuncts(root) {
+		switch x := c.(type) {
+		case *Binary:
+			f, lit, op, ok := fieldLiteralCmp(x)
+			if !ok {
+				continue
+			}
+			switch op {
+			case OpEq:
+				eqs = append(eqs, EqPred{Field: f, Value: lit})
+			case OpLt, OpLe:
+				r := getRange(ranges, f)
+				r.Hi, r.HiOpen, r.HiUnbounded = lit, op == OpLt, false
+			case OpGt, OpGe:
+				r := getRange(ranges, f)
+				r.Lo, r.LoOpen, r.LoUnbounded = lit, op == OpGt, false
+			}
+		case *Between:
+			if x.Negate {
+				continue
+			}
+			f, okF := x.X.(*Field)
+			lo, okLo := x.Lo.(*Literal)
+			hi, okHi := x.Hi.(*Literal)
+			if !okF || !okLo || !okHi {
+				continue
+			}
+			r := getRange(ranges, f.Name)
+			r.Lo, r.LoOpen, r.LoUnbounded = lo.Val, false, false
+			r.Hi, r.HiOpen, r.HiUnbounded = hi.Val, false, false
+		}
+	}
+	var rs []RangePred
+	for _, r := range ranges {
+		rs = append(rs, *r)
+	}
+	return eqs, rs
+}
+
+func getRange(m map[string]*RangePred, field string) *RangePred {
+	r, ok := m[field]
+	if !ok {
+		r = &RangePred{Field: field, LoUnbounded: true, HiUnbounded: true}
+		m[field] = r
+	}
+	return r
+}
+
+// fieldLiteralCmp recognizes field OP literal and literal OP field
+// (flipping the operator), for comparison operators.
+func fieldLiteralCmp(b *Binary) (field string, lit val.Value, op BinaryOp, ok bool) {
+	if !b.Op.IsComparison() {
+		return "", val.Null, 0, false
+	}
+	if f, okF := b.L.(*Field); okF {
+		if l, okL := b.R.(*Literal); okL {
+			return f.Name, l.Val, b.Op, true
+		}
+	}
+	if l, okL := b.L.(*Literal); okL {
+		if f, okF := b.R.(*Field); okF {
+			return f.Name, l.Val, flip(b.Op), true
+		}
+	}
+	return "", val.Null, 0, false
+}
+
+func flip(op BinaryOp) BinaryOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}
+
+// Conjuncts splits the expression on top-level ANDs.
+func Conjuncts(n Node) []Node {
+	if b, ok := n.(*Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Node{n}
+}
+
+// Contains reports whether the interval admits v. Incomparable values
+// are rejected.
+func (r *RangePred) Contains(v val.Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	if !r.LoUnbounded {
+		c, err := val.Compare(v, r.Lo)
+		if err != nil || c < 0 || (c == 0 && r.LoOpen) {
+			return false
+		}
+	}
+	if !r.HiUnbounded {
+		c, err := val.Compare(v, r.Hi)
+		if err != nil || c > 0 || (c == 0 && r.HiOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// NumericBounds returns the interval as float64 bounds for use in
+// interval-index structures; ok is false when either bound is a
+// non-numeric literal.
+func (r *RangePred) NumericBounds() (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if !r.LoUnbounded {
+		f, okF := r.Lo.AsFloat()
+		if !okF {
+			return 0, 0, false
+		}
+		lo = f
+	}
+	if !r.HiUnbounded {
+		f, okF := r.Hi.AsFloat()
+		if !okF {
+			return 0, 0, false
+		}
+		hi = f
+	}
+	return lo, hi, true
+}

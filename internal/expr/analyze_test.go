@@ -1,0 +1,149 @@
+package expr
+
+import (
+	"testing"
+
+	"eventdb/internal/val"
+)
+
+func TestAnalyzeEqualityExtraction(t *testing.T) {
+	p := MustCompile("sym = 'ACME' AND price > 100 AND venue = 'NYSE'")
+	if len(p.EqPreds) != 2 {
+		t.Fatalf("EqPreds = %v, want 2", p.EqPreds)
+	}
+	found := map[string]val.Value{}
+	for _, e := range p.EqPreds {
+		found[e.Field] = e.Value
+	}
+	if v, ok := found["sym"]; !ok || !val.Equal(v, val.String("ACME")) {
+		t.Errorf("sym pred = %v", v)
+	}
+	if v, ok := found["venue"]; !ok || !val.Equal(v, val.String("NYSE")) {
+		t.Errorf("venue pred = %v", v)
+	}
+}
+
+func TestAnalyzeLiteralOnLeft(t *testing.T) {
+	p := MustCompile("'ACME' = sym AND 100 < price")
+	if len(p.EqPreds) != 1 || p.EqPreds[0].Field != "sym" {
+		t.Fatalf("EqPreds = %v", p.EqPreds)
+	}
+	if len(p.RangePreds) != 1 {
+		t.Fatalf("RangePreds = %v", p.RangePreds)
+	}
+	r := p.RangePreds[0]
+	if r.Field != "price" || r.LoUnbounded || !r.LoOpen {
+		t.Errorf("flipped range pred wrong: %+v", r)
+	}
+	if !val.Equal(r.Lo, val.Int(100)) {
+		t.Errorf("lo = %v", r.Lo)
+	}
+}
+
+func TestAnalyzeRangeMerging(t *testing.T) {
+	p := MustCompile("price >= 10 AND price < 20")
+	if len(p.RangePreds) != 1 {
+		t.Fatalf("RangePreds = %+v, want merged single", p.RangePreds)
+	}
+	r := p.RangePreds[0]
+	if r.LoOpen || !r.HiOpen {
+		t.Errorf("openness wrong: %+v", r)
+	}
+	if !r.Contains(val.Int(10)) || !r.Contains(val.Float(19.99)) {
+		t.Error("contains endpoints wrong")
+	}
+	if r.Contains(val.Int(20)) || r.Contains(val.Int(9)) {
+		t.Error("excludes wrong")
+	}
+	lo, hi, ok := r.NumericBounds()
+	if !ok || lo != 10 || hi != 20 {
+		t.Errorf("NumericBounds = %v %v %v", lo, hi, ok)
+	}
+}
+
+func TestAnalyzeBetween(t *testing.T) {
+	p := MustCompile("x BETWEEN 1 AND 5")
+	if len(p.RangePreds) != 1 {
+		t.Fatalf("RangePreds = %+v", p.RangePreds)
+	}
+	r := p.RangePreds[0]
+	if !r.Contains(val.Int(1)) || !r.Contains(val.Int(5)) || r.Contains(val.Int(6)) {
+		t.Error("between bounds wrong")
+	}
+	// NOT BETWEEN must not be extracted.
+	p2 := MustCompile("x NOT BETWEEN 1 AND 5")
+	if len(p2.RangePreds) != 0 {
+		t.Errorf("NOT BETWEEN extracted: %+v", p2.RangePreds)
+	}
+}
+
+func TestAnalyzeConservative(t *testing.T) {
+	// Disjunctions, function applications and field-field comparisons
+	// must NOT be extracted (they are not top-level indexable conjuncts).
+	for _, src := range []string{
+		"sym = 'A' OR sym = 'B'",
+		"lower(sym) = 'a'",
+		"a = b",
+		"NOT (sym = 'A')",
+		"sym != 'A'",
+	} {
+		p := MustCompile(src)
+		if len(p.EqPreds) != 0 {
+			t.Errorf("%q: extracted EqPreds %v", src, p.EqPreds)
+		}
+		if len(p.RangePreds) != 0 {
+			t.Errorf("%q: extracted RangePreds %v", src, p.RangePreds)
+		}
+	}
+}
+
+func TestAnalyzeMixedConjunction(t *testing.T) {
+	// Indexable and non-indexable conjuncts mix; extraction keeps only
+	// the indexable ones and the full predicate still works.
+	p := MustCompile("sym = 'A' AND lower(venue) = 'nyse' AND price >= 5")
+	if len(p.EqPreds) != 1 || len(p.RangePreds) != 1 {
+		t.Fatalf("extraction = %v / %v", p.EqPreds, p.RangePreds)
+	}
+	ok, err := p.Match(ctx("sym", "A", "venue", "NYSE", "price", 7))
+	if err != nil || !ok {
+		t.Errorf("full predicate match = %v, %v", ok, err)
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	n := MustParse("a = 1 AND b = 2 AND (c = 3 OR d = 4)")
+	cs := Conjuncts(n)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cs))
+	}
+	// OR subtree stays intact.
+	if b, ok := cs[2].(*Binary); !ok || b.Op != OpOr {
+		t.Errorf("third conjunct should be OR subtree, got %v", cs[2])
+	}
+}
+
+func TestRangeContainsNullAndIncomparable(t *testing.T) {
+	p := MustCompile("x >= 10")
+	r := p.RangePreds[0]
+	if r.Contains(val.Null) {
+		t.Error("null should not be contained")
+	}
+	if r.Contains(val.String("zzz")) {
+		t.Error("incomparable value should not be contained")
+	}
+}
+
+func TestNumericBoundsNonNumeric(t *testing.T) {
+	p := MustCompile("x >= 'a'")
+	r := p.RangePreds[0]
+	if _, _, ok := r.NumericBounds(); ok {
+		t.Error("string bounds should not be numeric")
+	}
+}
+
+func TestFieldNamesOnPredicate(t *testing.T) {
+	p := MustCompile("a = 1 AND b > 2 AND contains(c, 'x')")
+	if len(p.FieldNames) != 3 {
+		t.Errorf("FieldNames = %v", p.FieldNames)
+	}
+}

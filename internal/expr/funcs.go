@@ -1,0 +1,236 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"eventdb/internal/val"
+)
+
+// Built-in scalar functions. All are pure; evaluation order and results
+// are deterministic for a given input.
+
+type builtin struct {
+	minArgs, maxArgs int // maxArgs < 0 means variadic
+	fn               func(args []val.Value) (val.Value, error)
+}
+
+func canonicalFunc(name string) string { return strings.ToLower(name) }
+
+func checkArity(name string, n int) error {
+	b := builtins[name]
+	if n < b.minArgs || (b.maxArgs >= 0 && n > b.maxArgs) {
+		if b.minArgs == b.maxArgs {
+			return fmt.Errorf("function %s expects %d argument(s), got %d", name, b.minArgs, n)
+		}
+		return fmt.Errorf("function %s expects %d..%d arguments, got %d", name, b.minArgs, b.maxArgs, n)
+	}
+	return nil
+}
+
+var builtins = map[string]builtin{
+	"abs": {1, 1, func(a []val.Value) (val.Value, error) {
+		switch a[0].Kind() {
+		case val.KindNull:
+			return val.Null, nil
+		case val.KindInt:
+			n, _ := a[0].AsInt()
+			if n < 0 {
+				n = -n
+			}
+			return val.Int(n), nil
+		case val.KindFloat:
+			f, _ := a[0].AsFloat()
+			return val.Float(math.Abs(f)), nil
+		}
+		return val.Null, fmt.Errorf("abs: non-numeric argument %s", a[0].Kind())
+	}},
+	"round": {1, 2, func(a []val.Value) (val.Value, error) {
+		if a[0].IsNull() {
+			return val.Null, nil
+		}
+		f, ok := a[0].AsFloat()
+		if !ok {
+			return val.Null, fmt.Errorf("round: non-numeric argument %s", a[0].Kind())
+		}
+		places := int64(0)
+		if len(a) == 2 {
+			p, ok := a[1].AsInt()
+			if !ok {
+				return val.Null, fmt.Errorf("round: places must be int")
+			}
+			places = p
+		}
+		scale := math.Pow(10, float64(places))
+		return val.Float(math.Round(f*scale) / scale), nil
+	}},
+	"floor": {1, 1, numericUnary("floor", math.Floor)},
+	"ceil":  {1, 1, numericUnary("ceil", math.Ceil)},
+	"sqrt":  {1, 1, numericUnary("sqrt", math.Sqrt)},
+	"lower": {1, 1, stringUnary("lower", strings.ToLower)},
+	"upper": {1, 1, stringUnary("upper", strings.ToUpper)},
+	"trim":  {1, 1, stringUnary("trim", strings.TrimSpace)},
+	"length": {1, 1, func(a []val.Value) (val.Value, error) {
+		switch a[0].Kind() {
+		case val.KindNull:
+			return val.Null, nil
+		case val.KindString:
+			s, _ := a[0].AsString()
+			return val.Int(int64(len(s))), nil
+		case val.KindBytes:
+			b, _ := a[0].AsBytes()
+			return val.Int(int64(len(b))), nil
+		}
+		return val.Null, fmt.Errorf("length: want string or bytes, got %s", a[0].Kind())
+	}},
+	"substr": {2, 3, func(a []val.Value) (val.Value, error) {
+		if a[0].IsNull() {
+			return val.Null, nil
+		}
+		s, ok := a[0].AsString()
+		if !ok {
+			return val.Null, fmt.Errorf("substr: want string, got %s", a[0].Kind())
+		}
+		start, ok := a[1].AsInt()
+		if !ok {
+			return val.Null, fmt.Errorf("substr: start must be int")
+		}
+		// 1-based start as in SQL; clamp into range.
+		if start < 1 {
+			start = 1
+		}
+		if start > int64(len(s)) {
+			return val.String(""), nil
+		}
+		end := int64(len(s))
+		if len(a) == 3 {
+			n, ok := a[2].AsInt()
+			if !ok {
+				return val.Null, fmt.Errorf("substr: length must be int")
+			}
+			if n < 0 {
+				n = 0
+			}
+			if start-1+n < end {
+				end = start - 1 + n
+			}
+		}
+		return val.String(s[start-1 : end]), nil
+	}},
+	"contains":    {2, 2, stringBinaryBool("contains", strings.Contains)},
+	"starts_with": {2, 2, stringBinaryBool("starts_with", strings.HasPrefix)},
+	"ends_with":   {2, 2, stringBinaryBool("ends_with", strings.HasSuffix)},
+	"coalesce": {1, -1, func(a []val.Value) (val.Value, error) {
+		for _, v := range a {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return val.Null, nil
+	}},
+	"least":    {1, -1, extremum(-1)},
+	"greatest": {1, -1, extremum(1)},
+	"if": {3, 3, func(a []val.Value) (val.Value, error) {
+		if b, ok := a[0].AsBool(); ok && b {
+			return a[1], nil
+		}
+		return a[2], nil
+	}},
+}
+
+func numericUnary(name string, fn func(float64) float64) func([]val.Value) (val.Value, error) {
+	return func(a []val.Value) (val.Value, error) {
+		if a[0].IsNull() {
+			return val.Null, nil
+		}
+		f, ok := a[0].AsFloat()
+		if !ok {
+			return val.Null, fmt.Errorf("%s: non-numeric argument %s", name, a[0].Kind())
+		}
+		return val.Float(fn(f)), nil
+	}
+}
+
+func stringUnary(name string, fn func(string) string) func([]val.Value) (val.Value, error) {
+	return func(a []val.Value) (val.Value, error) {
+		if a[0].IsNull() {
+			return val.Null, nil
+		}
+		s, ok := a[0].AsString()
+		if !ok {
+			return val.Null, fmt.Errorf("%s: want string, got %s", name, a[0].Kind())
+		}
+		return val.String(fn(s)), nil
+	}
+}
+
+func stringBinaryBool(name string, fn func(string, string) bool) func([]val.Value) (val.Value, error) {
+	return func(a []val.Value) (val.Value, error) {
+		if a[0].IsNull() || a[1].IsNull() {
+			return val.Null, nil
+		}
+		s, ok := a[0].AsString()
+		if !ok {
+			return val.Null, fmt.Errorf("%s: want string, got %s", name, a[0].Kind())
+		}
+		sub, ok := a[1].AsString()
+		if !ok {
+			return val.Null, fmt.Errorf("%s: want string, got %s", name, a[1].Kind())
+		}
+		return val.Bool(fn(s, sub)), nil
+	}
+}
+
+func extremum(dir int) func([]val.Value) (val.Value, error) {
+	return func(a []val.Value) (val.Value, error) {
+		best := val.Null
+		for _, v := range a {
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			c, err := val.Compare(v, best)
+			if err != nil {
+				return val.Null, err
+			}
+			if c*dir > 0 {
+				best = v
+			}
+		}
+		return best, nil
+	}
+}
+
+// likeMatch implements SQL LIKE: '%' matches any run (including empty),
+// '_' matches exactly one byte. Matching is byte-oriented and
+// case-sensitive.
+func likeMatch(s, pattern string) bool {
+	// Iterative two-pointer algorithm with backtracking on '%'.
+	var si, pi int
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			sBack++
+			si = sBack
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

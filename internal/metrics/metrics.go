@@ -1,0 +1,184 @@
+// Package metrics provides the lightweight counters and latency
+// histograms used by the engine and the experiment harness (performance
+// and scalability are "operational characteristics" the paper calls out
+// at every stage).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// LatencyHistogram records durations into exponential buckets
+// (1µs·2^i), supporting approximate percentiles without storing
+// samples. Safe for concurrent use.
+type LatencyHistogram struct {
+	mu      sync.Mutex
+	buckets [40]uint64 // 1µs .. ~1.1e6s
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us))) + 1
+	if b >= 40 {
+		b = 39
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHistogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average duration.
+func (h *LatencyHistogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation.
+func (h *LatencyHistogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *LatencyHistogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns an upper bound for the p-th percentile (bucket
+// resolution: a factor of 2).
+func (h *LatencyHistogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return time.Microsecond
+			}
+			return time.Duration(1<<uint(i)) * time.Microsecond
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *LatencyHistogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Registry is a named collection of counters and histograms, used by
+// the engine to expose operational statistics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*LatencyHistogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*LatencyHistogram),
+	}
+}
+
+// Counter returns (creating if needed) a named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) a named latency histogram.
+func (r *Registry) Histogram(name string) *LatencyHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &LatencyHistogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders all metrics as sorted "name value" lines.
+func (r *Registry) Snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for name, c := range r.counters {
+		out = append(out, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, h := range r.hists {
+		out = append(out, fmt.Sprintf("%s %s", name, h.String()))
+	}
+	sort.Strings(out)
+	return out
+}

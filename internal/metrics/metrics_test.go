@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d", c.Value())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8005 {
+		t.Errorf("concurrent value = %d", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h LatencyHistogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	durations := []time.Duration{
+		time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != 10*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// p50 upper bound: within 2x of the true median (bucket resolution).
+	p50 := h.Percentile(50)
+	if p50 < 100*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	p100 := h.Percentile(100)
+	if p100 < 10*time.Millisecond {
+		t.Errorf("p100 = %v", p100)
+	}
+	if !strings.Contains(h.String(), "n=5") {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(0)
+	h.Observe(500 * time.Hour)
+	if h.Count() != 2 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Percentile(1) > time.Microsecond {
+		t.Errorf("tiny percentile = %v", h.Percentile(1))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events.in").Add(10)
+	r.Counter("events.in").Inc() // same counter
+	r.Histogram("lat").Observe(time.Millisecond)
+	if r.Counter("events.in").Value() != 11 {
+		t.Errorf("counter = %d", r.Counter("events.in").Value())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if !strings.HasPrefix(snap[0], "events.in 11") {
+		t.Errorf("snapshot[0] = %q", snap[0])
+	}
+}

@@ -1,0 +1,274 @@
+// Package pubsub implements publish/subscribe and the paper's
+// "subscribe-to-publish" extension (§2.2.c.i.1–2): subscriptions are
+// predicate expressions stored as data, indexed by the rules engine so
+// that publishing an event costs far less than evaluating every
+// subscription.
+//
+// Deliveries go either to a callback or to a staging queue (the usual
+// production arrangement: matching is fast and synchronous, consumption
+// is asynchronous from the queue).
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"eventdb/internal/event"
+	"eventdb/internal/queue"
+	"eventdb/internal/rules"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+// Delivery is one matched (subscription, event) pair.
+type Delivery struct {
+	SubID      string
+	Subscriber string
+	Event      *event.Event
+}
+
+// Handler consumes deliveries for callback subscriptions.
+type Handler func(Delivery)
+
+// Broker matches published events against stored subscriptions.
+type Broker struct {
+	engine *rules.Engine
+
+	mu   sync.RWMutex
+	subs map[string]*subscription
+
+	store      *storage.DB
+	storeTable string
+}
+
+type subscription struct {
+	id         string
+	subscriber string
+	filter     string
+	handler    Handler
+	queue      *queue.Queue
+	priority   int
+}
+
+// NewBroker creates a broker with an indexed matching engine.
+func NewBroker() *Broker {
+	return &Broker{
+		engine: rules.NewEngine(rules.Options{Indexed: true}),
+		subs:   make(map[string]*subscription),
+	}
+}
+
+// NewBrokerNaive creates a broker that evaluates every subscription per
+// publish — the baseline the paper's indexing claim is measured against.
+func NewBrokerNaive() *Broker {
+	return &Broker{
+		engine: rules.NewEngine(rules.Options{Indexed: false}),
+		subs:   make(map[string]*subscription),
+	}
+}
+
+// Len returns the number of active subscriptions.
+func (b *Broker) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// Subscribe registers a callback subscription. filter is a predicate
+// over event attributes (including $type/$source envelope fields); the
+// empty filter matches everything.
+func (b *Broker) Subscribe(id, subscriber, filter string, h Handler) error {
+	if h == nil {
+		return errors.New("pubsub: nil handler")
+	}
+	return b.subscribe(&subscription{id: id, subscriber: subscriber, filter: filter, handler: h})
+}
+
+// SubscribeQueue registers a subscription delivering into a staging
+// queue with the given enqueue priority.
+func (b *Broker) SubscribeQueue(id, subscriber, filter string, q *queue.Queue, priority int) error {
+	if q == nil {
+		return errors.New("pubsub: nil queue")
+	}
+	return b.subscribe(&subscription{id: id, subscriber: subscriber, filter: filter, queue: q, priority: priority})
+}
+
+func (b *Broker) subscribe(s *subscription) error {
+	if s.id == "" {
+		return errors.New("pubsub: empty subscription id")
+	}
+	cond := s.filter
+	if cond == "" {
+		cond = "true"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.subs[s.id]; dup {
+		return fmt.Errorf("pubsub: subscription %q already exists", s.id)
+	}
+	if _, err := b.engine.Add(s.id, cond, 0, nil); err != nil {
+		return err
+	}
+	b.subs[s.id] = s
+	if b.store != nil {
+		if err := b.persist(s); err != nil {
+			// Roll back the in-memory registration.
+			b.engine.Remove(s.id)
+			delete(b.subs, s.id)
+			return err
+		}
+	}
+	return nil
+}
+
+// Unsubscribe removes a subscription.
+func (b *Broker) Unsubscribe(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[id]; !ok {
+		return fmt.Errorf("pubsub: no subscription %q", id)
+	}
+	delete(b.subs, id)
+	b.engine.Remove(id)
+	if b.store != nil {
+		tbl, _ := b.store.Table(b.storeTable)
+		if _, rid, ok := tbl.GetByPK(val.String(id)); ok {
+			return b.store.DeleteRow(b.storeTable, rid)
+		}
+	}
+	return nil
+}
+
+// Publish matches the event against all subscriptions and delivers to
+// each match, returning the number of deliveries. Callback handlers run
+// synchronously on the publisher's goroutine; queue deliveries enqueue.
+func (b *Broker) Publish(ev *event.Event) (int, error) {
+	matched, err := b.engine.Match(ev)
+	if err != nil {
+		return 0, err
+	}
+	delivered := 0
+	for _, r := range matched {
+		b.mu.RLock()
+		s, ok := b.subs[r.Name]
+		b.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if s.queue != nil {
+			if _, err := s.queue.Enqueue(ev, queue.EnqueueOptions{Priority: s.priority}); err != nil {
+				return delivered, fmt.Errorf("pubsub: enqueue for %q: %w", s.id, err)
+			}
+		} else {
+			s.handler(Delivery{SubID: s.id, Subscriber: s.subscriber, Event: ev})
+		}
+		delivered++
+	}
+	return delivered, nil
+}
+
+// MatchOnly returns the subscription IDs that would receive the event,
+// without delivering — the "rules service identifies interested
+// consumers" usage for external data (§2.2.c.ii).
+func (b *Broker) MatchOnly(ev *event.Event) ([]string, error) {
+	matched, err := b.engine.Match(ev)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(matched))
+	for i, r := range matched {
+		out[i] = r.Name
+	}
+	return out, nil
+}
+
+// SubsTableSchema returns the schema used to persist subscriptions.
+func SubsTableSchema(table string) (*storage.Schema, error) {
+	return storage.NewSchema(table, []storage.Column{
+		{Name: "id", Kind: val.KindString, NotNull: true},
+		{Name: "subscriber", Kind: val.KindString, NotNull: true},
+		{Name: "filter", Kind: val.KindString, NotNull: true},
+		{Name: "queue", Kind: val.KindString, Default: val.String("")},
+		{Name: "priority", Kind: val.KindInt, Default: val.Int(0)},
+	}, "id")
+}
+
+// AttachStore persists subscriptions in a database table (expressions as
+// data) and reloads existing rows: queue subscriptions rebind through
+// qm; callback rows rebind through handlers (by subscriber name),
+// falling back to a drop handler when absent.
+func (b *Broker) AttachStore(db *storage.DB, table string, qm *queue.Manager, handlers map[string]Handler) error {
+	if _, ok := db.Table(table); !ok {
+		schema, err := SubsTableSchema(table)
+		if err != nil {
+			return err
+		}
+		if err := db.CreateTable(schema); err != nil {
+			return err
+		}
+	}
+	b.mu.Lock()
+	b.store = db
+	b.storeTable = table
+	b.mu.Unlock()
+
+	tbl, _ := db.Table(table)
+	var loadErr error
+	tbl.Scan(func(_ storage.RowID, r storage.Row) bool {
+		id, _ := r[0].AsString()
+		subscriber, _ := r[1].AsString()
+		filter, _ := r[2].AsString()
+		qname, _ := r[3].AsString()
+		pri, _ := r[4].AsInt()
+		s := &subscription{id: id, subscriber: subscriber, filter: filter, priority: int(pri)}
+		if qname != "" {
+			q, ok := qm.Get(qname)
+			if !ok {
+				var err error
+				q, err = qm.Open(qname, queue.Config{})
+				if err != nil {
+					loadErr = fmt.Errorf("pubsub: subscription %q: %w", id, err)
+					return false
+				}
+			}
+			s.queue = q
+		} else if h, ok := handlers[subscriber]; ok {
+			s.handler = h
+		} else {
+			s.handler = func(Delivery) {}
+		}
+		b.mu.Lock()
+		if _, dup := b.subs[id]; !dup {
+			cond := filter
+			if cond == "" {
+				cond = "true"
+			}
+			if _, err := b.engine.Add(id, cond, 0, nil); err != nil {
+				loadErr = err
+				b.mu.Unlock()
+				return false
+			}
+			b.subs[id] = s
+		}
+		b.mu.Unlock()
+		return true
+	})
+	return loadErr
+}
+
+// persist writes a subscription row. Caller holds b.mu.
+func (b *Broker) persist(s *subscription) error {
+	qname := ""
+	if s.queue != nil {
+		qname = s.queue.Name()
+	}
+	_, err := b.store.Insert(b.storeTable, map[string]val.Value{
+		"id":         val.String(s.id),
+		"subscriber": val.String(s.subscriber),
+		"filter":     val.String(s.filter),
+		"queue":      val.String(qname),
+		"priority":   val.Int(int64(s.priority)),
+	})
+	return err
+}

@@ -1,0 +1,231 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+
+	"eventdb/internal/event"
+	"eventdb/internal/queue"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+func trade(sym string, price float64) *event.Event {
+	ev := event.New("trade", map[string]any{"sym": sym, "price": price})
+	ev.Source = "feed"
+	return ev
+}
+
+func TestSubscribePublish(t *testing.T) {
+	b := NewBroker()
+	var got []Delivery
+	if err := b.Subscribe("s1", "alice", "sym = 'ACME' AND price > 100", func(d Delivery) {
+		got = append(got, d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Publish(trade("ACME", 101))
+	if err != nil || n != 1 {
+		t.Fatalf("publish: n=%d err=%v", n, err)
+	}
+	n, _ = b.Publish(trade("ACME", 99))
+	if n != 0 {
+		t.Errorf("non-matching publish delivered %d", n)
+	}
+	n, _ = b.Publish(trade("OTHER", 500))
+	if n != 0 {
+		t.Errorf("wrong symbol delivered %d", n)
+	}
+	if len(got) != 1 || got[0].Subscriber != "alice" || got[0].SubID != "s1" {
+		t.Errorf("deliveries = %+v", got)
+	}
+}
+
+func TestEnvelopeFilter(t *testing.T) {
+	b := NewBroker()
+	var count int
+	b.Subscribe("s", "x", "$type = 'alert' AND $source = 'probe'", func(Delivery) { count++ })
+	ev := event.New("alert", nil)
+	ev.Source = "probe"
+	b.Publish(ev)
+	ev2 := event.New("alert", nil)
+	ev2.Source = "other"
+	b.Publish(ev2)
+	if count != 1 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestEmptyFilterMatchesAll(t *testing.T) {
+	b := NewBroker()
+	var count int
+	b.Subscribe("all", "x", "", func(Delivery) { count++ })
+	b.Publish(trade("A", 1))
+	b.Publish(event.New("other", nil))
+	if count != 2 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	var count int
+	b.Subscribe("s", "x", "", func(Delivery) { count++ })
+	b.Publish(trade("A", 1))
+	if err := b.Unsubscribe("s"); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(trade("A", 1))
+	if count != 1 {
+		t.Errorf("count = %d", count)
+	}
+	if err := b.Unsubscribe("s"); err == nil {
+		t.Error("double unsubscribe accepted")
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestSubscriptionErrors(t *testing.T) {
+	b := NewBroker()
+	if err := b.Subscribe("", "x", "", func(Delivery) {}); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := b.Subscribe("s", "x", "((", func(Delivery) {}); err == nil {
+		t.Error("bad filter accepted")
+	}
+	if err := b.Subscribe("s", "x", "", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	b.Subscribe("s", "x", "", func(Delivery) {})
+	if err := b.Subscribe("s", "y", "", func(Delivery) {}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := b.SubscribeQueue("q", "x", "", nil, 0); err == nil {
+		t.Error("nil queue accepted")
+	}
+}
+
+func TestQueueDelivery(t *testing.T) {
+	db, _ := storage.Open(storage.Options{})
+	defer db.Close()
+	qm := queue.NewManager(db)
+	defer qm.Close()
+	q, _ := qm.Create("alerts", queue.Config{})
+
+	b := NewBroker()
+	if err := b.SubscribeQueue("s", "ops", "price > 100", q, 3); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Publish(trade("ACME", 150))
+	if err != nil || n != 1 {
+		t.Fatalf("publish: %d %v", n, err)
+	}
+	msg, ok, err := q.Dequeue("ops")
+	if err != nil || !ok {
+		t.Fatalf("dequeue: %v %v", ok, err)
+	}
+	if msg.Priority != 3 {
+		t.Errorf("priority = %d", msg.Priority)
+	}
+	if v, _ := msg.Event.Get("sym"); !val.Equal(v, val.String("ACME")) {
+		t.Errorf("payload = %v", v)
+	}
+}
+
+func TestMatchOnly(t *testing.T) {
+	b := NewBroker()
+	b.Subscribe("s1", "x", "price > 10", func(Delivery) { t.Fatal("must not deliver") })
+	b.Subscribe("s2", "x", "price > 100", func(Delivery) { t.Fatal("must not deliver") })
+	ids, err := b.MatchOnly(trade("A", 50))
+	if err != nil || len(ids) != 1 || ids[0] != "s1" {
+		t.Errorf("MatchOnly = %v, %v", ids, err)
+	}
+}
+
+func TestIndexedAndNaiveAgree(t *testing.T) {
+	bi, bn := NewBroker(), NewBrokerNaive()
+	for i := 0; i < 100; i++ {
+		filter := fmt.Sprintf("sym = 'S%d'", i%10)
+		if i%3 == 0 {
+			filter = fmt.Sprintf("price >= %d AND price < %d", i, i+10)
+		}
+		bi.Subscribe(fmt.Sprintf("s%d", i), "x", filter, func(Delivery) {})
+		bn.Subscribe(fmt.Sprintf("s%d", i), "x", filter, func(Delivery) {})
+	}
+	for p := 0; p < 120; p += 7 {
+		ev := trade(fmt.Sprintf("S%d", p%10), float64(p))
+		a, err1 := bi.MatchOnly(ev)
+		b, err2 := bn.MatchOnly(ev)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("p=%d: indexed %v vs naive %v", p, a, b)
+		}
+	}
+}
+
+func TestStorePersistsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	db, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := queue.NewManager(db)
+	q, _ := qm.Create("alerts", queue.Config{})
+	b := NewBroker()
+	if err := b.AttachStore(db, "subs", qm, nil); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	b.Subscribe("cb", "bob", "price > 5", func(Delivery) { count++ })
+	b.SubscribeQueue("qd", "ops", "price > 100", q, 0)
+	db.Close()
+
+	// Restart: subscriptions reload from the table.
+	db2, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	qm2 := queue.NewManager(db2)
+	defer qm2.Close()
+	var count2 int
+	b2 := NewBroker()
+	handlers := map[string]Handler{"bob": func(Delivery) { count2++ }}
+	if err := b2.AttachStore(db2, "subs", qm2, handlers); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != 2 {
+		t.Fatalf("reloaded subs = %d", b2.Len())
+	}
+	n, err := b2.Publish(trade("A", 150))
+	if err != nil || n != 2 {
+		t.Fatalf("publish after reload: n=%d err=%v", n, err)
+	}
+	if count2 != 1 {
+		t.Errorf("callback deliveries = %d", count2)
+	}
+	q2, _ := qm2.Get("alerts")
+	if _, ok, _ := q2.Dequeue("ops"); !ok {
+		t.Error("queue delivery lost after reload")
+	}
+	// Unsubscribe removes the row.
+	if err := b2.Unsubscribe("cb"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db2.Table("subs")
+	if tbl.Len() != 1 {
+		t.Errorf("rows after unsubscribe = %d", tbl.Len())
+	}
+}
+
+func TestPublishTypeErrorPropagates(t *testing.T) {
+	b := NewBroker()
+	b.Subscribe("bad", "x", "lower(price) = 'a'", func(Delivery) {})
+	if _, err := b.Publish(trade("A", 1)); err == nil {
+		t.Error("type error not propagated")
+	}
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"eventdb/internal/expr"
+	"eventdb/internal/val"
+)
+
+// accumulator maintains one aggregate's running state.
+type accumulator struct {
+	kind  AggKind
+	count int64
+	sum   float64
+	best  val.Value // min/max
+	seen  bool
+}
+
+func (a *accumulator) add(v val.Value) error {
+	if v.IsNull() {
+		return nil // SQL aggregates skip nulls
+	}
+	switch a.kind {
+	case Count:
+		a.count++
+	case Sum, Avg:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("query: %s over non-numeric value %s", a.kind, v.Kind())
+		}
+		a.sum += f
+		a.count++
+	case Min, Max:
+		if !a.seen {
+			a.best = v
+			a.seen = true
+			return nil
+		}
+		c, err := val.Compare(v, a.best)
+		if err != nil {
+			return fmt.Errorf("query: %s over mixed kinds: %w", a.kind, err)
+		}
+		if (a.kind == Min && c < 0) || (a.kind == Max && c > 0) {
+			a.best = v
+		}
+	}
+	return nil
+}
+
+func (a *accumulator) result() val.Value {
+	switch a.kind {
+	case Count:
+		return val.Int(a.count)
+	case Sum:
+		if a.count == 0 {
+			return val.Null
+		}
+		return val.Float(a.sum)
+	case Avg:
+		if a.count == 0 {
+			return val.Null
+		}
+		return val.Float(a.sum / float64(a.count))
+	case Min, Max:
+		if !a.seen {
+			return val.Null
+		}
+		return a.best
+	}
+	return val.Null
+}
+
+// aggregate computes GROUP BY output over matched rows.
+func (q *Query) aggregate(rows []expr.Resolver) (*Result, error) {
+	cols := make([]string, 0, len(q.groupBy)+len(q.aggs))
+	cols = append(cols, q.groupBy...)
+	for _, a := range q.aggs {
+		cols = append(cols, a.alias)
+	}
+	out := &Result{Columns: cols}
+
+	type group struct {
+		keyVals []val.Value
+		accs    []*accumulator
+	}
+	groups := map[string]*group{}
+	var order []string // deterministic-ish; sorted at the end anyway
+
+	for _, r := range rows {
+		keyVals := make([]val.Value, len(q.groupBy))
+		var keyBytes []byte
+		for i, g := range q.groupBy {
+			v, _ := r.Get(g)
+			keyVals[i] = v
+			keyBytes = val.AppendKey(keyBytes, v)
+		}
+		key := string(keyBytes)
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{keyVals: keyVals, accs: make([]*accumulator, len(q.aggs))}
+			for i, a := range q.aggs {
+				grp.accs[i] = &accumulator{kind: a.kind}
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, a := range q.aggs {
+			if a.kind == Count && a.col == "" {
+				grp.accs[i].count++
+				continue
+			}
+			v, _ := r.Get(a.col)
+			if err := grp.accs[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// With no GROUP BY, aggregates yield exactly one row even over an
+	// empty input.
+	if len(q.groupBy) == 0 && len(groups) == 0 {
+		grp := &group{accs: make([]*accumulator, len(q.aggs))}
+		for i, a := range q.aggs {
+			grp.accs[i] = &accumulator{kind: a.kind}
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		grp := groups[key]
+		row := make([]val.Value, 0, len(cols))
+		row = append(row, grp.keyVals...)
+		for _, acc := range grp.accs {
+			row = append(row, acc.result())
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,6 @@
+package query
+
+import "time"
+
+// eventNow is indirected for deterministic tests.
+var eventNow = func() time.Time { return time.Now().UTC() }

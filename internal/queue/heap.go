@@ -1,0 +1,57 @@
+package queue
+
+import "time"
+
+// timeNow is indirected for deterministic tests.
+var timeNow = func() time.Time { return time.Now().UTC() }
+
+// readyItem is a message reference held in the in-memory heaps.
+type readyItem struct {
+	id        int64
+	pri       int64
+	visibleAt int64 // unix nanos; 0 = immediately visible
+}
+
+// readyHeap orders by priority descending, then message ID ascending
+// (FIFO within a priority).
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri > h[j].pri
+	}
+	return h[i].id < h[j].id
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *readyHeap) Push(x any) { *h = append(*h, x.(readyItem)) }
+
+// Pop implements heap.Interface.
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// delayedHeap orders by visibility time ascending.
+type delayedHeap []readyItem
+
+func (h delayedHeap) Len() int           { return len(h) }
+func (h delayedHeap) Less(i, j int) bool { return h[i].visibleAt < h[j].visibleAt }
+func (h delayedHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *delayedHeap) Push(x any) { *h = append(*h, x.(readyItem)) }
+
+// Pop implements heap.Interface.
+func (h *delayedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

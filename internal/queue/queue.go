@@ -1,0 +1,619 @@
+// Package queue implements message storage — the paper's "staging areas"
+// (§2.2.b). A queue is a database table: enqueue is an (extended) INSERT,
+// dequeue/ack are updates, so messages inherit the engine's transactional
+// support, recoverability and auditability. Internally created messages
+// ride an in-memory ready/delayed structure for speed — the paper's
+// "significant opportunities for optimization" for internal messages —
+// while the table remains the authoritative, recoverable source.
+//
+// Because registration happens in a commit hook on the backing table,
+// any INSERT into the queue table — from this API, from a foreign
+// system's transaction, or from a trigger — becomes a deliverable
+// message ("database as message store").
+//
+// Delivery semantics: at-least-once. A dequeued message is invisible for
+// the queue's visibility timeout; if not acknowledged in time it is
+// redelivered (attempts capped, then dead-lettered). Receipts carry the
+// delivery attempt so a stale receipt (from before a redelivery) cannot
+// acknowledge the message.
+package queue
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"eventdb/internal/event"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+// Message states stored in the queue table.
+const (
+	stateReady    = "ready"
+	stateInflight = "inflight"
+	stateDead     = "dead"
+)
+
+// Config parameterizes a queue.
+type Config struct {
+	// VisibilityTimeout is how long a dequeued message stays invisible
+	// before redelivery. Default 30s.
+	VisibilityTimeout time.Duration
+	// MaxAttempts dead-letters a message after this many deliveries.
+	// Default 5. Values < 1 are treated as 1.
+	MaxAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.VisibilityTimeout <= 0 {
+		c.VisibilityTimeout = 30 * time.Second
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 5
+	}
+	return c
+}
+
+// Manager creates and reopens queues over a database.
+type Manager struct {
+	db *storage.DB
+
+	mu     sync.Mutex
+	queues map[string]*Queue
+}
+
+// NewManager creates a queue manager.
+func NewManager(db *storage.DB) *Manager {
+	return &Manager{db: db, queues: make(map[string]*Queue)}
+}
+
+// TableName returns the storage table backing a queue.
+func TableName(queue string) string { return "q_" + queue }
+
+// Create makes a new queue (its backing table must not exist yet).
+func (m *Manager) Create(name string, cfg Config) (*Queue, error) {
+	schema, err := storage.NewSchema(TableName(name), []storage.Column{
+		{Name: "id", Kind: val.KindInt, NotNull: true},
+		{Name: "pri", Kind: val.KindInt, NotNull: true},
+		{Name: "visible_at", Kind: val.KindInt, NotNull: true},
+		{Name: "attempts", Kind: val.KindInt, NotNull: true},
+		{Name: "state", Kind: val.KindString, NotNull: true},
+		{Name: "enqueued_at", Kind: val.KindInt, NotNull: true},
+		{Name: "consumer", Kind: val.KindString, Default: val.String("")},
+		{Name: "payload", Kind: val.KindBytes},
+	}, "id")
+	if err != nil {
+		return nil, err
+	}
+	if err := m.db.CreateTable(schema); err != nil {
+		return nil, err
+	}
+	return m.attach(name, cfg)
+}
+
+// Open attaches to an existing queue table (e.g. after recovery),
+// rebuilding the in-memory ready/delayed structures from it.
+func (m *Manager) Open(name string, cfg Config) (*Queue, error) {
+	if _, ok := m.db.Table(TableName(name)); !ok {
+		return nil, fmt.Errorf("queue: no queue %q", name)
+	}
+	return m.attach(name, cfg)
+}
+
+// Get returns an already attached queue.
+func (m *Manager) Get(name string) (*Queue, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.queues[name]
+	return q, ok
+}
+
+// Close detaches all queues' commit hooks.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, q := range m.queues {
+		if q.removeHook != nil {
+			q.removeHook()
+			q.removeHook = nil
+		}
+		delete(m.queues, name)
+	}
+}
+
+func (m *Manager) attach(name string, cfg Config) (*Queue, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q, ok := m.queues[name]; ok {
+		return q, nil
+	}
+	tbl, ok := m.db.Table(TableName(name))
+	if !ok {
+		return nil, fmt.Errorf("queue: no queue %q", name)
+	}
+	q := &Queue{
+		name:     name,
+		db:       m.db,
+		table:    tbl,
+		cfg:      cfg.withDefaults(),
+		rowIDs:   make(map[int64]storage.RowID),
+		inflight: make(map[int64]*inflightInfo),
+		notify:   make(chan struct{}, 1),
+	}
+	// Rebuild in-memory state from the authoritative table. Inflight
+	// messages from a previous incarnation are redelivered immediately:
+	// their consumers are gone with the old process.
+	var maxID int64
+	var restoreReady []readyItem
+	var toRecover []storage.RowID
+	tbl.Scan(func(rid storage.RowID, r storage.Row) bool {
+		id, _ := r[0].AsInt()
+		if id > maxID {
+			maxID = id
+		}
+		q.rowIDs[id] = rid
+		state, _ := r[4].AsString()
+		pri, _ := r[1].AsInt()
+		vis, _ := r[2].AsInt()
+		switch state {
+		case stateReady:
+			restoreReady = append(restoreReady, readyItem{id: id, pri: pri, visibleAt: vis})
+		case stateInflight:
+			toRecover = append(toRecover, rid)
+			restoreReady = append(restoreReady, readyItem{id: id, pri: pri})
+		case stateDead:
+			// stays parked until Redrive
+		}
+		return true
+	})
+	for _, rid := range toRecover {
+		if err := m.db.UpdateRow(TableName(name), rid, map[string]val.Value{
+			"state": val.String(stateReady), "visible_at": val.Int(0),
+		}); err != nil {
+			return nil, fmt.Errorf("queue: recover inflight: %w", err)
+		}
+	}
+	q.mu.Lock()
+	for _, it := range restoreReady {
+		q.push(it)
+	}
+	q.nextID = maxID + 1
+	q.mu.Unlock()
+
+	// Inserts into the backing table become deliverable messages at
+	// commit time, whoever wrote them.
+	tableName := TableName(name)
+	q.removeHook = m.db.OnCommit(func(ci *storage.CommitInfo) {
+		woke := false
+		for i := range ci.Changes {
+			c := &ci.Changes[i]
+			if c.Table != tableName || c.Kind != storage.Insert {
+				continue
+			}
+			id, _ := c.New[0].AsInt()
+			pri, _ := c.New[1].AsInt()
+			vis, _ := c.New[2].AsInt()
+			state, _ := c.New[4].AsString()
+			q.mu.Lock()
+			q.rowIDs[id] = c.ID
+			if id >= q.nextID {
+				q.nextID = id + 1
+			}
+			if state == stateReady {
+				q.push(readyItem{id: id, pri: pri, visibleAt: vis})
+				woke = true
+			}
+			q.mu.Unlock()
+		}
+		if woke {
+			q.wake()
+		}
+	})
+	m.queues[name] = q
+	return q, nil
+}
+
+// Queue is one staging area. Safe for concurrent use.
+type Queue struct {
+	name  string
+	db    *storage.DB
+	table *storage.Table
+	cfg   Config
+
+	mu      sync.Mutex
+	nextID  int64
+	ready   readyHeap   // visible messages, by (pri desc, id asc)
+	delayed delayedHeap // future-visible messages, by visible_at
+	rowIDs  map[int64]storage.RowID
+	// inflight tracks deadline and attempt per delivered message.
+	inflight map[int64]*inflightInfo
+
+	notify     chan struct{}
+	removeHook func()
+}
+
+type inflightInfo struct {
+	deadline int64 // unix nanos
+	attempt  int64
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// EnqueueOptions tune a single enqueue.
+type EnqueueOptions struct {
+	// Priority orders delivery (higher first). Default 0.
+	Priority int
+	// Delay postpones visibility.
+	Delay time.Duration
+}
+
+// Enqueue stores an event as a message in its own transaction and
+// returns the message ID.
+func (q *Queue) Enqueue(ev *event.Event, opts EnqueueOptions) (int64, error) {
+	txn := q.db.Begin()
+	id, err := q.EnqueueTx(txn, ev, opts)
+	if err != nil {
+		txn.Rollback()
+		return 0, err
+	}
+	if _, err := txn.Commit(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// EnqueueTx buffers the enqueue into a caller-owned transaction — the
+// paper's "extended INSERT interface": a message lands atomically with
+// any other table changes in the same transaction. The message becomes
+// deliverable only when the transaction commits.
+func (q *Queue) EnqueueTx(txn *storage.Txn, ev *event.Event, opts EnqueueOptions) (int64, error) {
+	if ev == nil {
+		return 0, errors.New("queue: nil event")
+	}
+	q.mu.Lock()
+	id := q.nextID
+	q.nextID++
+	q.mu.Unlock()
+	now := timeNow().UnixNano()
+	visibleAt := int64(0)
+	if opts.Delay > 0 {
+		visibleAt = now + opts.Delay.Nanoseconds()
+	}
+	err := txn.Insert(TableName(q.name), map[string]val.Value{
+		"id":          val.Int(id),
+		"pri":         val.Int(int64(opts.Priority)),
+		"visible_at":  val.Int(visibleAt),
+		"attempts":    val.Int(0),
+		"state":       val.String(stateReady),
+		"enqueued_at": val.Int(now),
+		"payload":     val.Bytes(event.Encode(nil, ev)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Msg is a delivered message.
+type Msg struct {
+	Receipt Receipt
+	Event   *event.Event
+	// Attempt is 1 for first delivery.
+	Attempt int
+	// EnqueuedAt is the original enqueue time.
+	EnqueuedAt time.Time
+	// Priority echoes the enqueue priority.
+	Priority int
+}
+
+// Receipt identifies one delivery for Ack/Nack.
+type Receipt struct {
+	Queue   string
+	ID      int64
+	attempt int64
+}
+
+// Dequeue delivers the next visible message, or ok=false if none is
+// ready. consumer is recorded in the queue table for tracking.
+func (q *Queue) Dequeue(consumer string) (*Msg, bool, error) {
+	now := timeNow().UnixNano()
+	q.reapExpired(now)
+	for {
+		q.mu.Lock()
+		q.promoteDueLocked(now)
+		if q.ready.Len() == 0 {
+			q.mu.Unlock()
+			return nil, false, nil
+		}
+		it := heap.Pop(&q.ready).(readyItem)
+		rid, tracked := q.rowIDs[it.id]
+		q.mu.Unlock()
+		if !tracked {
+			continue // acked/raced away; skip
+		}
+		row, ok := q.table.Get(rid)
+		if !ok {
+			continue
+		}
+		state, _ := row[4].AsString()
+		if state != stateReady {
+			continue
+		}
+		attempts, _ := row[3].AsInt()
+		attempt := attempts + 1
+		deadline := now + q.cfg.VisibilityTimeout.Nanoseconds()
+		err := q.db.UpdateRow(TableName(q.name), rid, map[string]val.Value{
+			"state":      val.String(stateInflight),
+			"attempts":   val.Int(attempt),
+			"visible_at": val.Int(deadline),
+			"consumer":   val.String(consumer),
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		q.mu.Lock()
+		q.inflight[it.id] = &inflightInfo{deadline: deadline, attempt: attempt}
+		q.mu.Unlock()
+
+		payload, _ := row[7].AsBytes()
+		ev, _, err := event.Decode(payload)
+		if err != nil {
+			return nil, false, fmt.Errorf("queue: corrupt payload for msg %d: %w", it.id, err)
+		}
+		enq, _ := row[5].AsInt()
+		pri, _ := row[1].AsInt()
+		return &Msg{
+			Receipt:    Receipt{Queue: q.name, ID: it.id, attempt: attempt},
+			Event:      ev,
+			Attempt:    int(attempt),
+			EnqueuedAt: time.Unix(0, enq).UTC(),
+			Priority:   int(pri),
+		}, true, nil
+	}
+}
+
+// ErrStaleReceipt guards acks from superseded deliveries.
+var ErrStaleReceipt = errors.New("queue: stale receipt (message was redelivered)")
+
+// Ack acknowledges a delivery, deleting the message.
+func (q *Queue) Ack(r Receipt) error {
+	q.mu.Lock()
+	info, ok := q.inflight[r.ID]
+	if !ok || info.attempt != r.attempt {
+		q.mu.Unlock()
+		return ErrStaleReceipt
+	}
+	rid := q.rowIDs[r.ID]
+	delete(q.inflight, r.ID)
+	delete(q.rowIDs, r.ID)
+	q.mu.Unlock()
+	return q.db.DeleteRow(TableName(q.name), rid)
+}
+
+// Nack returns a delivery to the queue after delay; after MaxAttempts
+// deliveries the message is dead-lettered instead.
+func (q *Queue) Nack(r Receipt, delay time.Duration) error {
+	q.mu.Lock()
+	info, ok := q.inflight[r.ID]
+	if !ok || info.attempt != r.attempt {
+		q.mu.Unlock()
+		return ErrStaleReceipt
+	}
+	rid := q.rowIDs[r.ID]
+	delete(q.inflight, r.ID)
+	attempt := info.attempt
+	q.mu.Unlock()
+
+	if attempt >= int64(q.cfg.MaxAttempts) {
+		return q.db.UpdateRow(TableName(q.name), rid, map[string]val.Value{
+			"state": val.String(stateDead),
+		})
+	}
+	now := timeNow().UnixNano()
+	visibleAt := int64(0)
+	if delay > 0 {
+		visibleAt = now + delay.Nanoseconds()
+	}
+	err := q.db.UpdateRow(TableName(q.name), rid, map[string]val.Value{
+		"state":      val.String(stateReady),
+		"visible_at": val.Int(visibleAt),
+	})
+	if err != nil {
+		return err
+	}
+	row, _ := q.table.Get(rid)
+	pri, _ := row[1].AsInt()
+	q.mu.Lock()
+	q.push(readyItem{id: r.ID, pri: pri, visibleAt: visibleAt})
+	q.mu.Unlock()
+	q.wake()
+	return nil
+}
+
+// promoteDueLocked moves due delayed messages to the ready heap.
+// Caller holds q.mu.
+func (q *Queue) promoteDueLocked(now int64) {
+	for q.delayed.Len() > 0 && q.delayed[0].visibleAt <= now {
+		it := heap.Pop(&q.delayed).(readyItem)
+		it.visibleAt = 0
+		heap.Push(&q.ready, it)
+	}
+}
+
+// reapExpired requeues inflight messages whose visibility timeout passed
+// (consumer crashed or stalled); exhausted messages are dead-lettered.
+func (q *Queue) reapExpired(now int64) {
+	type expired struct {
+		id       int64
+		rid      storage.RowID
+		attempts int64
+		pri      int64
+	}
+	var exp []expired
+	q.mu.Lock()
+	for id, info := range q.inflight {
+		if info.deadline > now {
+			continue
+		}
+		delete(q.inflight, id)
+		rid, ok := q.rowIDs[id]
+		if !ok {
+			continue
+		}
+		row, ok := q.table.Get(rid)
+		if !ok {
+			continue
+		}
+		attempts, _ := row[3].AsInt()
+		pri, _ := row[1].AsInt()
+		exp = append(exp, expired{id: id, rid: rid, attempts: attempts, pri: pri})
+	}
+	q.mu.Unlock()
+	for _, e := range exp {
+		if e.attempts >= int64(q.cfg.MaxAttempts) {
+			_ = q.db.UpdateRow(TableName(q.name), e.rid, map[string]val.Value{
+				"state": val.String(stateDead),
+			})
+			continue
+		}
+		err := q.db.UpdateRow(TableName(q.name), e.rid, map[string]val.Value{
+			"state": val.String(stateReady), "visible_at": val.Int(0),
+		})
+		if err != nil {
+			continue
+		}
+		q.mu.Lock()
+		q.push(readyItem{id: e.id, pri: e.pri})
+		q.mu.Unlock()
+	}
+}
+
+// push routes an item to the ready or delayed heap. Caller holds q.mu.
+func (q *Queue) push(it readyItem) {
+	if it.visibleAt > timeNow().UnixNano() {
+		heap.Push(&q.delayed, it)
+	} else {
+		it.visibleAt = 0
+		heap.Push(&q.ready, it)
+	}
+}
+
+func (q *Queue) wake() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// WaitDequeue blocks until a message is available, the timeout elapses,
+// or the done channel closes.
+func (q *Queue) WaitDequeue(consumer string, timeout time.Duration, done <-chan struct{}) (*Msg, bool, error) {
+	deadline := timeNow().Add(timeout)
+	for {
+		msg, ok, err := q.Dequeue(consumer)
+		if err != nil || ok {
+			return msg, ok, err
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, false, nil
+		}
+		wait := 5 * time.Millisecond
+		if remaining < wait {
+			wait = remaining
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-q.notify:
+			timer.Stop()
+		case <-timer.C:
+		case <-done:
+			timer.Stop()
+			return nil, false, nil
+		}
+	}
+}
+
+// Stats summarizes queue contents by state.
+type Stats struct {
+	Ready    int
+	Inflight int
+	Dead     int
+}
+
+// Stats scans the backing table for current counts.
+func (q *Queue) Stats() Stats {
+	var s Stats
+	q.table.Scan(func(_ storage.RowID, r storage.Row) bool {
+		state, _ := r[4].AsString()
+		switch state {
+		case stateReady:
+			s.Ready++
+		case stateInflight:
+			s.Inflight++
+		case stateDead:
+			s.Dead++
+		}
+		return true
+	})
+	return s
+}
+
+// DeadLetters returns the message IDs and events of dead-lettered
+// messages.
+func (q *Queue) DeadLetters() ([]int64, []*event.Event, error) {
+	var ids []int64
+	var evs []*event.Event
+	var decodeErr error
+	q.table.Scan(func(_ storage.RowID, r storage.Row) bool {
+		state, _ := r[4].AsString()
+		if state != stateDead {
+			return true
+		}
+		id, _ := r[0].AsInt()
+		payload, _ := r[7].AsBytes()
+		ev, _, err := event.Decode(payload)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		ids = append(ids, id)
+		evs = append(evs, ev)
+		return true
+	})
+	return ids, evs, decodeErr
+}
+
+// Redrive returns a dead-lettered message to the queue with a fresh
+// attempt budget.
+func (q *Queue) Redrive(id int64) error {
+	q.mu.Lock()
+	rid, ok := q.rowIDs[id]
+	q.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("queue: no message %d", id)
+	}
+	row, ok := q.table.Get(rid)
+	if !ok {
+		return fmt.Errorf("queue: no message %d", id)
+	}
+	if state, _ := row[4].AsString(); state != stateDead {
+		return fmt.Errorf("queue: message %d is not dead-lettered", id)
+	}
+	err := q.db.UpdateRow(TableName(q.name), rid, map[string]val.Value{
+		"state": val.String(stateReady), "visible_at": val.Int(0), "attempts": val.Int(0),
+	})
+	if err != nil {
+		return err
+	}
+	pri, _ := row[1].AsInt()
+	q.mu.Lock()
+	q.push(readyItem{id: id, pri: pri})
+	q.mu.Unlock()
+	q.wake()
+	return nil
+}

@@ -1,0 +1,167 @@
+package rules
+
+import (
+	"fmt"
+	"sync"
+
+	"eventdb/internal/event"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+// Store persists a rule set in a database table — rules are "expressions
+// as data" (§2.2.c.i.2): conditions live in rows, survive restarts, and
+// can themselves be inspected, audited and changed transactionally.
+//
+// Actions cannot be serialized, so they are rebound by name through an
+// action registry at load time.
+type Store struct {
+	db    *storage.DB
+	table string
+
+	mu      sync.RWMutex
+	actions map[string]Action
+}
+
+// RulesTableSchema returns the schema used for rule storage.
+func RulesTableSchema(table string) (*storage.Schema, error) {
+	return storage.NewSchema(table, []storage.Column{
+		{Name: "name", Kind: val.KindString, NotNull: true},
+		{Name: "condition", Kind: val.KindString, NotNull: true},
+		{Name: "priority", Kind: val.KindInt, NotNull: true},
+		{Name: "action", Kind: val.KindString, NotNull: true},
+		{Name: "enabled", Kind: val.KindBool, NotNull: true, Default: val.Bool(true)},
+	}, "name")
+}
+
+// NewStore creates (or attaches to) a rule table.
+func NewStore(db *storage.DB, table string) (*Store, error) {
+	if _, ok := db.Table(table); !ok {
+		schema, err := RulesTableSchema(table)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.CreateTable(schema); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{db: db, table: table, actions: make(map[string]Action)}, nil
+}
+
+// RegisterAction binds an action name used by stored rules.
+func (s *Store) RegisterAction(name string, fn Action) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.actions[name] = fn
+}
+
+// Save writes (or overwrites) a rule row.
+func (s *Store) Save(name, condition string, priority int, actionName string) error {
+	tbl, _ := s.db.Table(s.table)
+	if _, rid, ok := tbl.GetByPK(val.String(name)); ok {
+		return s.db.UpdateRow(s.table, rid, map[string]val.Value{
+			"condition": val.String(condition),
+			"priority":  val.Int(int64(priority)),
+			"action":    val.String(actionName),
+		})
+	}
+	_, err := s.db.Insert(s.table, map[string]val.Value{
+		"name":      val.String(name),
+		"condition": val.String(condition),
+		"priority":  val.Int(int64(priority)),
+		"action":    val.String(actionName),
+		"enabled":   val.Bool(true),
+	})
+	return err
+}
+
+// Delete removes a rule row.
+func (s *Store) Delete(name string) error {
+	tbl, _ := s.db.Table(s.table)
+	_, rid, ok := tbl.GetByPK(val.String(name))
+	if !ok {
+		return fmt.Errorf("rules: no stored rule %q", name)
+	}
+	return s.db.DeleteRow(s.table, rid)
+}
+
+// SetEnabled toggles a rule row without deleting it.
+func (s *Store) SetEnabled(name string, enabled bool) error {
+	tbl, _ := s.db.Table(s.table)
+	_, rid, ok := tbl.GetByPK(val.String(name))
+	if !ok {
+		return fmt.Errorf("rules: no stored rule %q", name)
+	}
+	return s.db.UpdateRow(s.table, rid, map[string]val.Value{"enabled": val.Bool(enabled)})
+}
+
+// LoadInto installs every enabled stored rule into the engine, replacing
+// same-named rules. Unknown action names get a no-op action and are
+// reported in the returned list.
+func (s *Store) LoadInto(e *Engine) (unknownActions []string, err error) {
+	tbl, ok := s.db.Table(s.table)
+	if !ok {
+		return nil, fmt.Errorf("rules: no table %q", s.table)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var loadErr error
+	tbl.Scan(func(_ storage.RowID, r storage.Row) bool {
+		enabled, _ := r[4].AsBool()
+		if !enabled {
+			return true
+		}
+		name, _ := r[0].AsString()
+		cond, _ := r[1].AsString()
+		pri, _ := r[2].AsInt()
+		actionName, _ := r[3].AsString()
+		action, known := s.actions[actionName]
+		if !known {
+			unknownActions = append(unknownActions, name)
+			action = func(*event.Event, *Rule) {}
+		}
+		if _, err := e.Replace(name, cond, int(pri), action); err != nil {
+			loadErr = err
+			return false
+		}
+		return true
+	})
+	return unknownActions, loadErr
+}
+
+// Sync attaches live reload: committed changes to the rule table are
+// applied to the engine immediately — the paper's "frequently changing
+// rules sets" served straight from database commits. Returns a detach
+// function.
+func (s *Store) Sync(e *Engine) func() {
+	return s.db.OnCommit(func(ci *storage.CommitInfo) {
+		for i := range ci.Changes {
+			c := &ci.Changes[i]
+			if c.Table != s.table {
+				continue
+			}
+			switch c.Kind {
+			case storage.Insert, storage.Update:
+				enabled, _ := c.New[4].AsBool()
+				name, _ := c.New[0].AsString()
+				if !enabled {
+					_ = e.Remove(name) // disabled = absent from engine
+					continue
+				}
+				cond, _ := c.New[1].AsString()
+				pri, _ := c.New[2].AsInt()
+				actionName, _ := c.New[3].AsString()
+				s.mu.RLock()
+				action, known := s.actions[actionName]
+				s.mu.RUnlock()
+				if !known {
+					action = func(*event.Event, *Rule) {}
+				}
+				_, _ = e.Replace(name, cond, int(pri), action)
+			case storage.Delete:
+				name, _ := c.Old[0].AsString()
+				_ = e.Remove(name)
+			}
+		}
+	})
+}

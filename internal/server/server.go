@@ -1,0 +1,238 @@
+// Package server exposes an engine over TCP with a line-oriented
+// protocol, giving foreign systems the "external" path into the message
+// store (§2.2.b.i.2) — and giving the benchmarks a realistic
+// external-client baseline against which internal evaluation is
+// compared (§2.2.c.iii: "the evaluation of internal data can
+// significantly be optimized").
+//
+// Protocol (one request per line):
+//
+//	PUB <json-event>   → "OK <deliveries>" after rules+pubsub evaluation
+//	MATCH <json-event> → "OK <sub,sub,...>" — match only, no delivery
+//	PING               → "PONG"
+//	QUIT               → closes the connection
+//
+// Responses are single lines; errors are "ERR <message>".
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"eventdb/internal/core"
+	"eventdb/internal/event"
+)
+
+// Server serves one engine over TCP.
+type Server struct {
+	eng *core.Engine
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// Start listens on addr ("127.0.0.1:0" picks a free port).
+func Start(eng *core.Engine, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	s := &Server{eng: eng, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes live client connections, and waits for
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "PING":
+			fmt.Fprintln(w, "PONG")
+		case "QUIT":
+			w.Flush()
+			return
+		case "PUB":
+			ev, err := event.UnmarshalJSONEvent([]byte(rest))
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			before := s.eng.Metrics.Counter("events.delivered").Value()
+			if err := s.eng.Ingest(ev); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			delivered := s.eng.Metrics.Counter("events.delivered").Value() - before
+			fmt.Fprintf(w, "OK %d\n", delivered)
+		case "MATCH":
+			ev, err := event.UnmarshalJSONEvent([]byte(rest))
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			ids, err := s.eng.Broker.MatchOnly(ev)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "OK %s\n", strings.Join(ids, ","))
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a minimal connection to a Server.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	mu   sync.Mutex
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(line string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	resp = strings.TrimRight(resp, "\r\n")
+	if strings.HasPrefix(resp, "ERR ") {
+		return "", errors.New(resp[4:])
+	}
+	return resp, nil
+}
+
+// Ping round-trips a liveness check.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("server: unexpected ping reply %q", resp)
+	}
+	return nil
+}
+
+// Publish sends an event for full evaluation, returning deliveries made.
+func (c *Client) Publish(ev *event.Event) (int, error) {
+	data, err := event.MarshalJSONEvent(ev)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip("PUB " + string(data))
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(resp, "OK "))
+	if err != nil {
+		return 0, fmt.Errorf("server: bad reply %q", resp)
+	}
+	return n, nil
+}
+
+// Match asks which subscriptions would receive the event.
+func (c *Client) Match(ev *event.Event) ([]string, error) {
+	data, err := event.MarshalJSONEvent(ev)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip("MATCH " + string(data))
+	if err != nil {
+		return nil, err
+	}
+	body := strings.TrimPrefix(resp, "OK ")
+	if body == "" {
+		return nil, nil
+	}
+	return strings.Split(body, ","), nil
+}

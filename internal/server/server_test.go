@@ -1,0 +1,115 @@
+package server
+
+import (
+	"testing"
+
+	"eventdb/internal/core"
+	"eventdb/internal/event"
+	"eventdb/internal/pubsub"
+)
+
+func startServer(t *testing.T) (*core.Engine, *Server, *Client) {
+	t.Helper()
+	eng, err := core.Open(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv, err := Start(eng, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return eng, srv, c
+}
+
+func TestPing(t *testing.T) {
+	_, _, c := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishOverWire(t *testing.T) {
+	eng, _, c := startServer(t)
+	var delivered int
+	eng.Subscribe("s", "ops", "sev >= 2", func(pubsub.Delivery) { delivered++ })
+
+	n, err := c.Publish(event.New("alarm", map[string]any{"sev": 3}))
+	if err != nil || n != 1 {
+		t.Fatalf("publish: n=%d err=%v", n, err)
+	}
+	n, err = c.Publish(event.New("alarm", map[string]any{"sev": 1}))
+	if err != nil || n != 0 {
+		t.Fatalf("filtered publish: n=%d err=%v", n, err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d", delivered)
+	}
+	if eng.Ingested() != 2 {
+		t.Errorf("ingested = %d", eng.Ingested())
+	}
+}
+
+func TestMatchOverWire(t *testing.T) {
+	eng, _, c := startServer(t)
+	eng.Subscribe("hot", "ops", "temp > 30", func(pubsub.Delivery) {
+		t.Fatal("MATCH must not deliver")
+	})
+	ids, err := c.Match(event.New("reading", map[string]any{"temp": 40}))
+	if err != nil || len(ids) != 1 || ids[0] != "hot" {
+		t.Fatalf("match: %v %v", ids, err)
+	}
+	ids, err = c.Match(event.New("reading", map[string]any{"temp": 10}))
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("non-match: %v %v", ids, err)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, _, c := startServer(t)
+	if _, err := c.roundTrip("PUB {not json"); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := c.roundTrip("BOGUS"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	// Connection still usable after errors.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	eng, srv, _ := startServer(t)
+	var count int
+	eng.Subscribe("all", "x", "", func(pubsub.Delivery) { count++ })
+	for i := 0; i < 3; i++ {
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Publish(event.New("e", map[string]any{"i": i})); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	if count != 3 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	_, srv, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

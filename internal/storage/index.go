@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"eventdb/internal/val"
+)
+
+// IndexKind selects the index structure.
+type IndexKind int
+
+// Available index kinds.
+const (
+	// HashIndex supports equality lookups in O(1).
+	HashIndex IndexKind = iota
+	// OrderedIndex supports equality and range scans (sorted keys).
+	OrderedIndex
+)
+
+// Index is a secondary index over one or more columns.
+type Index struct {
+	Name   string
+	Kind   IndexKind
+	Unique bool
+	cols   []int // column positions
+
+	hash map[string][]RowID // HashIndex
+	ord  []ordEntry         // OrderedIndex, sorted by key then rowid
+}
+
+type ordEntry struct {
+	key string
+	id  RowID
+}
+
+func newIndex(name string, kind IndexKind, unique bool, cols []int) *Index {
+	ix := &Index{Name: name, Kind: kind, Unique: unique, cols: cols}
+	if kind == HashIndex {
+		ix.hash = make(map[string][]RowID)
+	}
+	return ix
+}
+
+// keyFor computes the index key bytes for a row.
+func (ix *Index) keyFor(r Row) string {
+	var buf []byte
+	for _, ci := range ix.cols {
+		buf = val.AppendKey(buf, r[ci])
+	}
+	return string(buf)
+}
+
+// keyForValues computes the key from lookup values (must match the
+// number of indexed columns for equality, or a prefix for range scans).
+func keyForValues(vals []val.Value) string {
+	var buf []byte
+	for _, v := range vals {
+		buf = val.AppendKey(buf, v)
+	}
+	return string(buf)
+}
+
+// checkUnique reports a constraint violation if key already maps to a
+// row other than self.
+func (ix *Index) checkUnique(key string, self RowID) error {
+	if !ix.Unique {
+		return nil
+	}
+	switch ix.Kind {
+	case HashIndex:
+		for _, id := range ix.hash[key] {
+			if id != self {
+				return fmt.Errorf("storage: unique index %q violated", ix.Name)
+			}
+		}
+	case OrderedIndex:
+		i := sort.Search(len(ix.ord), func(i int) bool { return ix.ord[i].key >= key })
+		for ; i < len(ix.ord) && ix.ord[i].key == key; i++ {
+			if ix.ord[i].id != self {
+				return fmt.Errorf("storage: unique index %q violated", ix.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (ix *Index) insert(key string, id RowID) {
+	switch ix.Kind {
+	case HashIndex:
+		ix.hash[key] = append(ix.hash[key], id)
+	case OrderedIndex:
+		i := sort.Search(len(ix.ord), func(i int) bool {
+			e := ix.ord[i]
+			return e.key > key || (e.key == key && e.id >= id)
+		})
+		ix.ord = append(ix.ord, ordEntry{})
+		copy(ix.ord[i+1:], ix.ord[i:])
+		ix.ord[i] = ordEntry{key: key, id: id}
+	}
+}
+
+func (ix *Index) remove(key string, id RowID) {
+	switch ix.Kind {
+	case HashIndex:
+		ids := ix.hash[key]
+		for i, x := range ids {
+			if x == id {
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(ix.hash, key)
+		} else {
+			ix.hash[key] = ids
+		}
+	case OrderedIndex:
+		i := sort.Search(len(ix.ord), func(i int) bool {
+			e := ix.ord[i]
+			return e.key > key || (e.key == key && e.id >= id)
+		})
+		if i < len(ix.ord) && ix.ord[i].key == key && ix.ord[i].id == id {
+			ix.ord = append(ix.ord[:i], ix.ord[i+1:]...)
+		}
+	}
+}
+
+// lookupEq returns the row IDs whose indexed columns equal vals.
+func (ix *Index) lookupEq(vals []val.Value) []RowID {
+	key := keyForValues(vals)
+	switch ix.Kind {
+	case HashIndex:
+		ids := ix.hash[key]
+		out := make([]RowID, len(ids))
+		copy(out, ids)
+		return out
+	case OrderedIndex:
+		var out []RowID
+		i := sort.Search(len(ix.ord), func(i int) bool { return ix.ord[i].key >= key })
+		for ; i < len(ix.ord) && ix.ord[i].key == key; i++ {
+			out = append(out, ix.ord[i].id)
+		}
+		return out
+	}
+	return nil
+}
+
+// lookupRange returns row IDs with lo <= key <= hi over a single-column
+// ordered index. Nil bounds are unbounded. Only valid for OrderedIndex.
+func (ix *Index) lookupRange(lo, hi *val.Value, loOpen, hiOpen bool) ([]RowID, error) {
+	if ix.Kind != OrderedIndex {
+		return nil, fmt.Errorf("storage: index %q does not support range scans", ix.Name)
+	}
+	start := 0
+	if lo != nil {
+		key := keyForValues([]val.Value{*lo})
+		if loOpen {
+			// Keys for the same value share a prefix; strictly-greater
+			// means skipping all entries with exactly this key prefix.
+			start = sort.Search(len(ix.ord), func(i int) bool { return ix.ord[i].key > key })
+		} else {
+			start = sort.Search(len(ix.ord), func(i int) bool { return ix.ord[i].key >= key })
+		}
+	}
+	end := len(ix.ord)
+	if hi != nil {
+		key := keyForValues([]val.Value{*hi})
+		if hiOpen {
+			end = sort.Search(len(ix.ord), func(i int) bool { return ix.ord[i].key >= key })
+		} else {
+			end = sort.Search(len(ix.ord), func(i int) bool { return ix.ord[i].key > key })
+		}
+	}
+	if start >= end {
+		return nil, nil
+	}
+	out := make([]RowID, 0, end-start)
+	for _, e := range ix.ord[start:end] {
+		out = append(out, e.id)
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"eventdb/internal/val"
+)
+
+// Table holds rows and indexes for one schema. All exported methods are
+// safe for concurrent use; mutation happens only through transactions.
+type Table struct {
+	mu      sync.RWMutex
+	schema  *Schema
+	rows    map[RowID]Row
+	nextID  RowID
+	pk      map[string]RowID // encoded primary key → row ID
+	indexes map[string]*Index
+	version uint64 // bumped on every commit touching this table
+}
+
+func newTable(s *Schema) *Table {
+	t := &Table{
+		schema:  s,
+		rows:    make(map[RowID]Row),
+		nextID:  1,
+		indexes: make(map[string]*Index),
+	}
+	if s.HasPrimaryKey() {
+		t.pk = make(map[string]RowID)
+	}
+	return t
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Version returns the commit version; it changes whenever the table's
+// contents change, which lets pollers (query-diff capture) skip work.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Get returns the row with the given ID.
+func (t *Table) Get(id RowID) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	return r, ok
+}
+
+// GetByPK returns the row whose primary key equals the given values.
+func (t *Table) GetByPK(keyVals ...val.Value) (Row, RowID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pk == nil {
+		return nil, 0, false
+	}
+	id, ok := t.pk[keyForValues(keyVals)]
+	if !ok {
+		return nil, 0, false
+	}
+	return t.rows[id], id, true
+}
+
+// Scan calls fn for every row until fn returns false. The snapshot is
+// consistent: the table read lock is held for the duration, and rows are
+// immutable, so fn may retain them.
+func (t *Table) Scan(fn func(id RowID, r Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id, r := range t.rows {
+		if !fn(id, r) {
+			return
+		}
+	}
+}
+
+// ScanRows returns all rows with their IDs (a stable snapshot copy).
+func (t *Table) ScanRows() ([]RowID, []Row) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]RowID, 0, len(t.rows))
+	rows := make([]Row, 0, len(t.rows))
+	for id, r := range t.rows {
+		ids = append(ids, id)
+		rows = append(rows, r)
+	}
+	return ids, rows
+}
+
+// LookupEq uses the named index for an equality lookup. Numeric probe
+// values are normalized to the indexed column's kind so that e.g. an
+// integer literal finds rows in a float column.
+func (t *Table) LookupEq(indexName string, vals ...val.Value) ([]RowID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[indexName]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q: no index %q", t.schema.Name, indexName)
+	}
+	if len(vals) != len(ix.cols) {
+		return nil, fmt.Errorf("storage: index %q: %d lookup values, want %d", indexName, len(vals), len(ix.cols))
+	}
+	probe := make([]val.Value, len(vals))
+	for i, v := range vals {
+		nv, exact := normalizeProbe(t.schema.Columns[ix.cols[i]].Kind, v)
+		if !exact {
+			return nil, nil // e.g. 10.5 can never equal an int column
+		}
+		probe[i] = nv
+	}
+	return ix.lookupEq(probe), nil
+}
+
+// LookupRange uses a single-column ordered index for a range scan.
+// Nil bounds are unbounded; open flags make bounds strict. Numeric
+// bounds are normalized to the column kind (10.5 over an int column
+// becomes the tightest enclosing integer bound).
+func (t *Table) LookupRange(indexName string, lo, hi *val.Value, loOpen, hiOpen bool) ([]RowID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[indexName]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q: no index %q", t.schema.Name, indexName)
+	}
+	if ix.Kind != OrderedIndex {
+		return nil, fmt.Errorf("storage: index %q does not support range scans", indexName)
+	}
+	colKind := t.schema.Columns[ix.cols[0]].Kind
+	if lo != nil {
+		nv, exact := normalizeProbe(colKind, *lo)
+		if !exact {
+			// Non-integral float bound over an int column: tighten to
+			// the next integer and close the bound.
+			f, _ := (*lo).AsFloat()
+			nv = val.Int(int64(math.Ceil(f)))
+			loOpen = false
+		}
+		lo = &nv
+	}
+	if hi != nil {
+		nv, exact := normalizeProbe(colKind, *hi)
+		if !exact {
+			f, _ := (*hi).AsFloat()
+			nv = val.Int(int64(math.Floor(f)))
+			hiOpen = false
+		}
+		hi = &nv
+	}
+	return ix.lookupRange(lo, hi, loOpen, hiOpen)
+}
+
+// normalizeProbe converts a lookup value to the column's kind where that
+// preserves equality semantics. exact=false means the value can never
+// exactly equal a stored value of that kind (non-integral float vs int).
+func normalizeProbe(colKind val.Kind, v val.Value) (_ val.Value, exact bool) {
+	if v.IsNull() || v.Kind() == colKind {
+		return v, true
+	}
+	switch {
+	case colKind == val.KindFloat && v.Kind() == val.KindInt:
+		f, _ := v.AsFloat()
+		return val.Float(f), true
+	case colKind == val.KindInt && v.Kind() == val.KindFloat:
+		f, _ := v.AsFloat()
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			return val.Int(int64(f)), true
+		}
+		return v, false
+	}
+	return v, true
+}
+
+// IndexOn returns the name of an index whose first column is the given
+// column (preferring ordered for ranged=true), or "".
+func (t *Table) IndexOn(col string, ranged bool) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return ""
+	}
+	best := ""
+	for name, ix := range t.indexes {
+		if len(ix.cols) >= 1 && ix.cols[0] == ci && len(ix.cols) == 1 {
+			if ranged && ix.Kind != OrderedIndex {
+				continue
+			}
+			if best == "" || name < best {
+				best = name
+			}
+		}
+	}
+	return best
+}
+
+// applyInsert stores the row (already validated), maintaining indexes.
+// Caller holds t.mu.
+func (t *Table) applyInsert(id RowID, r Row) {
+	t.rows[id] = r
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	if t.pk != nil {
+		t.pk[t.schema.pkKey(r)] = id
+	}
+	for _, ix := range t.indexes {
+		ix.insert(ix.keyFor(r), id)
+	}
+}
+
+// applyUpdate replaces row id with newRow. Caller holds t.mu.
+func (t *Table) applyUpdate(id RowID, old, newRow Row) {
+	t.rows[id] = newRow
+	if t.pk != nil {
+		delete(t.pk, t.schema.pkKey(old))
+		t.pk[t.schema.pkKey(newRow)] = id
+	}
+	for _, ix := range t.indexes {
+		ok, nk := ix.keyFor(old), ix.keyFor(newRow)
+		if ok != nk {
+			ix.remove(ok, id)
+			ix.insert(nk, id)
+		}
+	}
+}
+
+// applyDelete removes row id. Caller holds t.mu.
+func (t *Table) applyDelete(id RowID, old Row) {
+	delete(t.rows, id)
+	if t.pk != nil {
+		delete(t.pk, t.schema.pkKey(old))
+	}
+	for _, ix := range t.indexes {
+		ix.remove(ix.keyFor(old), id)
+	}
+}

@@ -1,0 +1,416 @@
+// Package wal implements a segmented write-ahead log: the engine's
+// journal. The storage engine logs every committed transaction here, and
+// the journal-mining capture path (paper §2.2.a.ii — "capturing events
+// using journals") tails it to turn committed changes into events,
+// exactly as commercial log-mining tools do against a redo log.
+//
+// Format: each segment file starts with an 8-byte magic and the LSN of
+// its first record. Records are individually CRC-checked so a torn tail
+// (crash mid-write) is detected and truncated on open rather than
+// corrupting replay.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	segMagic      = "EDBWAL01"
+	segHeaderSize = len(segMagic) + 8
+	recHeaderSize = 4 + 4 + 8 + 1 // crc, len, lsn, type
+)
+
+// DefaultSegmentBytes is the roll threshold for new segments.
+const DefaultSegmentBytes = 8 << 20
+
+// Record is one logged entry.
+type Record struct {
+	LSN  uint64
+	Type uint8
+	Data []byte
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the directory holding segment files. Created if absent.
+	Dir string
+	// SegmentBytes is the approximate maximum segment size before
+	// rolling to a new file. Defaults to DefaultSegmentBytes.
+	SegmentBytes int64
+	// SyncEvery makes Append fsync after every n-th record. 0 disables
+	// implicit syncing (callers may still call Sync); 1 syncs every
+	// append (group-commit callers batch first).
+	SyncEvery int
+}
+
+// WAL is an append-only, replayable log. Safe for concurrent use.
+type WAL struct {
+	mu        sync.Mutex
+	dir       string
+	segBytes  int64
+	syncEvery int
+
+	f        *os.File
+	w        *bufio.Writer
+	curSize  int64
+	segStart uint64
+	nextLSN  uint64
+	unsync   int
+}
+
+// Open opens (or creates) the log in opts.Dir, recovering from any torn
+// tail in the newest segment.
+func Open(opts Options) (*WAL, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	w := &WAL{
+		dir:       opts.Dir,
+		segBytes:  opts.SegmentBytes,
+		syncEvery: opts.SyncEvery,
+		nextLSN:   1,
+	}
+	segs, err := w.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.rollLocked(w.nextLSN); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	// Recover: scan the last segment to find its end and the next LSN.
+	last := segs[len(segs)-1]
+	goodSize, lastLSN, err := scanSegment(filepath.Join(w.dir, segName(last)), func(Record) error { return nil })
+	if err != nil {
+		var torn *TornTailError
+		if !errors.As(err, &torn) {
+			return nil, err
+		}
+		// Torn tail in the newest segment: recover the intact prefix.
+	}
+	path := filepath.Join(w.dir, segName(last))
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	if fi.Size() > goodSize {
+		// Torn tail: truncate to the last intact record boundary.
+		if err := os.Truncate(path, goodSize); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	w.curSize = goodSize
+	w.segStart = last
+	if lastLSN >= w.nextLSN {
+		w.nextLSN = lastLSN + 1
+	}
+	if last >= w.nextLSN {
+		w.nextLSN = last
+	}
+	return w, nil
+}
+
+func segName(startLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", startLSN)
+}
+
+// segments returns the sorted start-LSNs of all segment files.
+func (w *WAL) segments() ([]uint64, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: readdir: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+		n, err := strconv.ParseUint(hexPart, 16, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// rollLocked starts a new segment whose first record will be startLSN.
+func (w *WAL) rollLocked(startLSN uint64) error {
+	if w.w != nil {
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(w.dir, segName(startLSN))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:], segMagic)
+	binary.BigEndian.PutUint64(hdr[len(segMagic):], startLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	w.f = f
+	w.w = bufio.NewWriterSize(f, 64<<10)
+	w.curSize = int64(segHeaderSize)
+	w.segStart = startLSN
+	return nil
+}
+
+// Append logs one record and returns its LSN.
+func (w *WAL) Append(typ uint8, data []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, errors.New("wal: closed")
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	if w.curSize >= w.segBytes {
+		if err := w.rollLocked(lsn); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [recHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(data)))
+	binary.BigEndian.PutUint64(hdr[8:16], lsn)
+	hdr[16] = typ
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:])
+	crc.Write(data)
+	binary.BigEndian.PutUint32(hdr[0:4], crc.Sum32())
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return 0, err
+	}
+	w.curSize += int64(recHeaderSize + len(data))
+	w.unsync++
+	if w.syncEvery > 0 && w.unsync >= w.syncEvery {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync flushes buffered records and fsyncs the current segment.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("wal: closed")
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.unsync = 0
+	return nil
+}
+
+// Flush flushes buffered writes to the OS without fsync (visible to
+// readers of the file, not crash-durable).
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("wal: closed")
+	}
+	return w.w.Flush()
+}
+
+// NextLSN returns the LSN the next Append will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Close flushes, syncs and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.syncLocked()
+	cerr := w.f.Close()
+	w.f = nil
+	w.w = nil
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Replay invokes fn for every intact record with LSN >= fromLSN, in LSN
+// order across all segments. A torn tail in the newest segment ends
+// replay without error; corruption elsewhere is reported.
+func (w *WAL) Replay(fromLSN uint64, fn func(Record) error) error {
+	w.mu.Lock()
+	// Flush so readers observe everything appended so far.
+	if w.w != nil {
+		if err := w.w.Flush(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+	}
+	segs, err := w.segments()
+	dir := w.dir
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for i, start := range segs {
+		// Skip segments entirely before fromLSN: a segment can be
+		// skipped only if the NEXT segment starts at or before fromLSN.
+		if i+1 < len(segs) && segs[i+1] <= fromLSN {
+			continue
+		}
+		isLast := i == len(segs)-1
+		_, _, err := scanSegment(filepath.Join(dir, segName(start)), func(r Record) error {
+			if r.LSN < fromLSN {
+				return nil
+			}
+			return fn(r)
+		})
+		if err != nil {
+			var torn *TornTailError
+			if errors.As(err, &torn) && isLast {
+				return nil // torn tail at the end is expected after crash
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint removes whole segments that contain only records with
+// LSN < keepLSN. The segment containing keepLSN is retained.
+func (w *WAL) Checkpoint(keepLSN uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	for i, start := range segs {
+		// Removable if the next segment starts at or below keepLSN
+		// (meaning every record here is < keepLSN) and it is not the
+		// active segment.
+		if i+1 >= len(segs) || segs[i+1] > keepLSN || start == w.segStart {
+			continue
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(start))); err != nil {
+			return fmt.Errorf("wal: checkpoint remove: %w", err)
+		}
+	}
+	return nil
+}
+
+// TornTailError reports a record that failed validation, most likely a
+// crash mid-append.
+type TornTailError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("wal: torn/corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// scanSegment reads records sequentially, calling fn for each; it
+// returns the byte offset just past the last intact record and the last
+// LSN seen. Validation failure returns a *TornTailError.
+func scanSegment(path string, fn func(Record) error) (goodSize int64, lastLSN uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open for scan: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 256<<10)
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return 0, 0, &TornTailError{Offset: 0, Reason: "short segment header"}
+	}
+	if string(hdr[:len(segMagic)]) != segMagic {
+		return 0, 0, fmt.Errorf("wal: bad segment magic in %s", path)
+	}
+	offset := int64(segHeaderSize)
+	rec := make([]byte, recHeaderSize)
+	for {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			if err == io.EOF {
+				return offset, lastLSN, nil
+			}
+			return offset, lastLSN, &TornTailError{Offset: offset, Reason: "short record header"}
+		}
+		wantCRC := binary.BigEndian.Uint32(rec[0:4])
+		length := binary.BigEndian.Uint32(rec[4:8])
+		lsn := binary.BigEndian.Uint64(rec[8:16])
+		typ := rec[16]
+		if length > 1<<30 {
+			return offset, lastLSN, &TornTailError{Offset: offset, Reason: "implausible record length"}
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return offset, lastLSN, &TornTailError{Offset: offset, Reason: "short record payload"}
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(rec[4:])
+		crc.Write(data)
+		if crc.Sum32() != wantCRC {
+			return offset, lastLSN, &TornTailError{Offset: offset, Reason: "checksum mismatch"}
+		}
+		if err := fn(Record{LSN: lsn, Type: typ, Data: data}); err != nil {
+			return offset, lastLSN, err
+		}
+		offset += int64(recHeaderSize) + int64(length)
+		lastLSN = lsn
+	}
+}
