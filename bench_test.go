@@ -1,4 +1,4 @@
-// Experiment benchmarks E1–E12. Each benchmark regenerates one row or
+// Experiment benchmarks E1–E13. Each benchmark regenerates one row or
 // series of the experiment tables in EXPERIMENTS.md; cmd/edabench runs
 // curated sweeps of the same code and prints the tables.
 //
@@ -9,6 +9,7 @@ package eventdb
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -540,6 +541,126 @@ func BenchmarkE11ExternalEval(b *testing.B) {
 		if _, err := c.Publish(ev); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E13: sharded batch-ingest pipeline --------------------------------
+
+// e13Engine builds an engine with 1000 indexed rules and one selective
+// subscription — the same realistic match cost as E11 — in either
+// synchronous (shards == 0) or sharded-async mode.
+func e13Engine(b *testing.B, shards int) *core.Engine {
+	b.Helper()
+	eng, err := core.Open(core.Config{Shards: shards, ShardBuffer: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	for i := 0; i < 1000; i++ {
+		if err := eng.AddRule(fmt.Sprintf("r%d", i), fmt.Sprintf("sym = 'S%d'", i), 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var delivered atomic.Int64
+	if err := eng.Subscribe("hot", "ops", "price > 990", func(pubsub.Delivery) {
+		delivered.Add(1)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// e13Events pre-generates events with 61 types (spreads over the
+// default by-type shard key) and 1000 symbols (exercises the index).
+func e13Events(n int) []*event.Event {
+	evs := make([]*event.Event, n)
+	for i := range evs {
+		evs[i] = event.New(fmt.Sprintf("trade%d", i%61), map[string]any{
+			"sym":   fmt.Sprintf("S%d", i%1000),
+			"price": float64(i % 1000),
+		})
+	}
+	return evs
+}
+
+// BenchmarkE13IngestSingleThreaded is the baseline the pipeline is
+// measured against: one goroutine, one event per call, synchronous.
+func BenchmarkE13IngestSingleThreaded(b *testing.B) {
+	eng := e13Engine(b, 0)
+	evs := e13Events(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Ingest(evs[i%len(evs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13IngestBatch measures synchronous batching: amortized
+// match scratch on a single goroutine.
+func BenchmarkE13IngestBatch(b *testing.B) {
+	for _, batch := range []int{16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			eng := e13Engine(b, 0)
+			evs := e13Events(batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				if err := eng.IngestBatch(evs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkE13ShardedIngest drives the async pipeline from parallel
+// producers. ns/op is per event end to end (Flush included), so
+// ops/sec here versus BenchmarkE13IngestSingleThreaded is the
+// pipeline's speedup.
+func BenchmarkE13ShardedIngest(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng := e13Engine(b, shards)
+			evs := e13Events(4096)
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					if err := eng.Ingest(evs[int(i)%len(evs)]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			eng.Flush()
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkE13ShardedIngestBatch combines both levers: parallel
+// producers submitting batches into the sharded pipeline.
+func BenchmarkE13ShardedIngestBatch(b *testing.B) {
+	const batch = 256
+	for _, shards := range []int{4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng := e13Engine(b, shards)
+			evs := e13Events(batch)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := eng.IngestBatch(evs); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			eng.Flush()
+			b.StopTimer()
+			b.ReportMetric(batch, "events/op")
+		})
 	}
 }
 

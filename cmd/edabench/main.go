@@ -1,6 +1,7 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E12 from DESIGN.md, each checking a claim
-// of the tutorial. Run with -quick for smaller sweeps.
+// one table per experiment E1–E13 from DESIGN.md, each checking a claim
+// of the tutorial. Run with -quick for smaller sweeps; -shards and
+// -batch pin the E13 pipeline sweep to one configuration.
 package main
 
 import (
@@ -8,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"eventdb/internal/analytics"
@@ -29,7 +32,11 @@ import (
 	"eventdb/internal/workload"
 )
 
-var quick = flag.Bool("quick", false, "smaller sweeps")
+var (
+	quick     = flag.Bool("quick", false, "smaller sweeps")
+	shardsArg = flag.Int("shards", 0, "E13: fixed shard count (0 = sweep 1,2,4,8)")
+	batchArg  = flag.Int("batch", 256, "E13: ingest batch size")
+)
 
 func main() {
 	flag.Parse()
@@ -45,6 +52,7 @@ func main() {
 	e10()
 	e11()
 	e12()
+	e13()
 }
 
 // rate times n iterations of f and returns ops/sec and ns/op.
@@ -531,6 +539,102 @@ func e12() {
 		fmt.Printf("| %d | %.0f |\n", hops, ops)
 		qm.Close()
 		db.Close()
+	}
+}
+
+// e13Engine builds the E13 fixture: 1000 indexed rules plus one
+// selective subscription, so each ingest pays a realistic match cost.
+func e13Engine(shards int) (*core.Engine, *atomic.Int64) {
+	eng, err := core.Open(core.Config{Shards: shards, ShardBuffer: 4096})
+	must(err)
+	for i := 0; i < 1000; i++ {
+		must(eng.AddRule(fmt.Sprintf("r%d", i), fmt.Sprintf("sym = 'S%d'", i), 0, nil))
+	}
+	var delivered atomic.Int64
+	must(eng.Subscribe("hot", "ops", "price > 990", func(pubsub.Delivery) {
+		delivered.Add(1)
+	}))
+	return eng, &delivered
+}
+
+// e13Events pre-generates the event stream: 61 types so the default
+// by-type shard key spreads across workers, 1000 symbols to exercise
+// the rule index.
+func e13Events(n int) []*event.Event {
+	evs := make([]*event.Event, n)
+	for i := range evs {
+		evs[i] = event.New(fmt.Sprintf("trade%d", i%61), map[string]any{
+			"sym":   fmt.Sprintf("S%d", i%1000),
+			"price": float64(i % 1000),
+		})
+	}
+	return evs
+}
+
+func e13() {
+	header("E13", "sharded batch-ingest pipeline: throughput vs shards (§2.2.b, §3)")
+	N := n(400000, 40000)
+	evs := e13Events(N)
+	batch := *batchArg
+	if batch <= 0 {
+		batch = 256
+	}
+
+	throughput := func(eng *core.Engine, producers int) float64 {
+		start := time.Now()
+		var wg sync.WaitGroup
+		per := N / producers
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				slice := evs[p*per : (p+1)*per]
+				for i := 0; i < len(slice); i += batch {
+					end := i + batch
+					if end > len(slice) {
+						end = len(slice)
+					}
+					must(eng.IngestBatch(slice[i:end]))
+				}
+			}(p)
+		}
+		wg.Wait()
+		eng.Flush()
+		return float64(producers*per) / time.Since(start).Seconds()
+	}
+
+	fmt.Println("| mode | shards | producers | events/sec | speedup | delivered |")
+	fmt.Println("|---|---|---|---|---|---|")
+
+	// Baseline: one goroutine, one event at a time, fully synchronous.
+	eng, delivered := e13Engine(0)
+	base, _ := rate(N, func(i int) { must(eng.Ingest(evs[i])) })
+	eng.Close()
+	fmt.Printf("| sync Ingest | 0 | 1 | %.0f | 1.0x | %d |\n", base, delivered.Load())
+
+	// Synchronous batching: same goroutine, amortized scratch.
+	eng, delivered = e13Engine(0)
+	bt := throughput(eng, 1)
+	eng.Close()
+	fmt.Printf("| sync IngestBatch(%d) | 0 | 1 | %.0f | %.1fx | %d |\n",
+		batch, bt, bt/base, delivered.Load())
+
+	sweep := []int{1, 2, 4, 8}
+	if *shardsArg > 0 {
+		sweep = []int{*shardsArg}
+	}
+	for _, shards := range sweep {
+		producers := shards
+		if producers > 8 {
+			producers = 8
+		}
+		eng, delivered = e13Engine(shards)
+		tp := throughput(eng, producers)
+		eng.Close()
+		// The delivered column doubles as a losslessness check: every
+		// mode must deliver the same count for the same N.
+		fmt.Printf("| async pipeline | %d | %d | %.0f | %.1fx | %d |\n",
+			shards, producers, tp, tp/base, delivered.Load())
 	}
 }
 

@@ -2,11 +2,18 @@
 //
 // Usage:
 //
-//	eventdbd [-addr host:port] [-dir path] [-rule name=condition]...
+//	eventdbd [-addr host:port] [-dir path] [-shards n] [-rule name=condition]...
 //
 // Foreign systems publish JSON events with the line protocol documented
 // in internal/server; matching rules and subscriptions evaluate inside
 // the database process (the paper's "internal evaluation" path).
+//
+// With -shards N, published events enter the asynchronous sharded
+// ingest pipeline instead of evaluating on the connection handler's
+// goroutine: PUB returns as soon as the event is accepted (its
+// delivery count becomes approximate), and throughput scales with
+// cores. -shard-buffer sizes each shard's bounded queue and
+// -drop-on-full trades loss for bounded latency under overload.
 package main
 
 import (
@@ -36,15 +43,26 @@ func (r *ruleFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
+	shards := flag.Int("shards", 0, "async ingest pipeline width (0 = synchronous)")
+	shardBuffer := flag.Int("shard-buffer", 1024, "per-shard bounded queue capacity")
+	dropOnFull := flag.Bool("drop-on-full", false, "drop events when a shard buffer is full instead of blocking")
 	var ruleDefs ruleFlags
 	flag.Var(&ruleDefs, "rule", "rule as name=condition (repeatable); matches are logged")
 	flag.Parse()
 
-	eng, err := core.Open(core.Config{Dir: *dir})
+	cfg := core.Config{Dir: *dir, Shards: *shards, ShardBuffer: *shardBuffer}
+	if *dropOnFull {
+		cfg.Backpressure = core.DropOnFull
+	}
+	eng, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
+	if *shards > 0 {
+		log.Printf("ingest pipeline: %d shards, buffer %d, policy %s",
+			eng.Shards(), *shardBuffer, cfg.Backpressure)
+	}
 
 	for _, def := range ruleDefs {
 		name, cond, ok := strings.Cut(def, "=")
@@ -70,5 +88,8 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Println("shutting down")
+	if d := eng.Dropped(); d > 0 {
+		log.Printf("dropped %d events under backpressure", d)
+	}
+	log.Println("shutting down (draining in-flight events)")
 }

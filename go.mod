@@ -1,0 +1,3 @@
+module eventdb
+
+go 1.21

@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +41,29 @@ type Config struct {
 	// AuditTable, when non-empty, records engine operations to an audit
 	// trail table of this name.
 	AuditTable string
+
+	// Shards enables the asynchronous sharded ingest pipeline: events
+	// are hash-partitioned by shard key across this many workers, each
+	// draining a bounded buffer through the rules→pub/sub flow. Events
+	// sharing a key process in arrival order on a single shard. 0 (the
+	// default) keeps Ingest fully synchronous on the caller's
+	// goroutine, as before. With shards, rule actions and subscription
+	// handlers run on shard goroutines and must be safe for concurrent
+	// use across shards; a handler that re-ingests directly should use
+	// IngestSync (or DropOnFull) — under BlockOnFull, a blocking
+	// Ingest from a shard goroutine into its own full shard would
+	// deadlock. The engine's own capture paths (triggers, watched
+	// queries, journal tail) are re-entrancy-safe.
+	Shards int
+	// ShardBuffer is each shard's bounded queue capacity (default 1024).
+	ShardBuffer int
+	// Backpressure selects what a full shard buffer does to publishers:
+	// BlockOnFull (default) blocks until the shard drains; DropOnFull
+	// drops the event and counts it in pipeline.shard<N>.drops.
+	Backpressure Backpressure
+	// ShardKey derives the partition key from an event; nil partitions
+	// by event type.
+	ShardKey func(*event.Event) string
 }
 
 // Engine is the assembled event-processing platform.
@@ -56,6 +80,11 @@ type Engine struct {
 
 	ingestCount atomic.Uint64
 	closed      atomic.Bool
+
+	// pipeline is the async sharded front door (nil when Shards == 0).
+	pipeline *pipeline
+	// scratch pools (matcher, publisher) pairs for IngestBatch callers.
+	scratch sync.Pool
 }
 
 // Open assembles an engine.
@@ -84,19 +113,43 @@ func Open(cfg Config) (*Engine, error) {
 		}
 		e.Trail = tr
 	}
-	// Trigger-captured events flow into the standard ingest path.
+	e.scratch.New = func() any {
+		return &batchScratch{m: e.Rules.NewMatcher(), pub: e.Broker.NewPublisher()}
+	}
+	if cfg.Shards > 0 {
+		e.pipeline = newPipeline(e, cfg)
+	}
+	// Trigger-captured events flow into the ingest path. The capture
+	// variant never blocks: a trigger can fire on a shard goroutine (a
+	// rule action writing to a captured table), where a blocking send
+	// into that worker's own full buffer would deadlock the pipeline.
 	e.Triggers = trigger.NewManager(db, func(ev *event.Event) {
-		if err := e.Ingest(ev); err != nil {
+		if err := e.ingestCapture(ev); err != nil {
 			e.Metrics.Counter("ingest.errors").Inc()
 		}
 	})
 	return e, nil
 }
 
-// Close shuts the engine down, flushing the WAL.
+// batchScratch is a pooled (matcher, publisher) pair so repeated
+// IngestBatch calls allocate no per-batch match state.
+type batchScratch struct {
+	m   *rules.Matcher
+	pub *pubsub.Publisher
+}
+
+// Close shuts the engine down: stops capture, drains the async
+// pipeline's in-flight events, then flushes the WAL.
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	// Drain the pipeline before detaching trigger capture: draining
+	// events' rule actions can still write to captured tables, and
+	// those cascades must be captured (they evaluate inline via
+	// ingestCapture once intake is closed).
+	if e.pipeline != nil {
+		e.pipeline.close()
 	}
 	e.Triggers.Close()
 	e.Queues.Close()
@@ -106,23 +159,176 @@ func (e *Engine) Close() error {
 // Ingest pushes one event through the evaluation layer: rules fire
 // first (highest priority first), then pub/sub delivers to subscribers.
 // This is the paper's core flow — events in, valuable information out.
+//
+// On a synchronous engine (Config.Shards == 0) evaluation completes
+// before Ingest returns. With shards, Ingest enqueues to the event's
+// shard and returns once accepted; evaluation errors are counted in
+// the ingest.errors metric, and Flush/Close drain the backlog.
 func (e *Engine) Ingest(ev *event.Event) error {
 	if ev == nil {
 		return errors.New("core: nil event")
 	}
+	if e.pipeline != nil {
+		return e.pipeline.enqueue(ev)
+	}
+	return e.IngestSync(ev)
+}
+
+// IngestSync runs the full rules→pub/sub pass on the caller's
+// goroutine regardless of pipeline mode.
+func (e *Engine) IngestSync(ev *event.Event) error {
+	if ev == nil {
+		return errors.New("core: nil event")
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.ingestSync(ev)
+}
+
+// ingestSync is IngestSync without the closed check, so capture
+// cascades during Close's drain still evaluate.
+func (e *Engine) ingestSync(ev *event.Event) error {
 	start := time.Now()
 	e.ingestCount.Add(1)
 	e.Metrics.Counter("events.in").Inc()
-	if _, err := e.Rules.Eval(ev); err != nil {
-		return fmt.Errorf("core: rules: %w", err)
-	}
-	n, err := e.Broker.Publish(ev)
+	n, err := e.evalEvent(ev, nil, nil)
 	if err != nil {
-		return fmt.Errorf("core: publish: %w", err)
+		return err
 	}
 	e.Metrics.Counter("events.delivered").Add(uint64(n))
 	e.Metrics.Histogram("ingest.latency").Observe(time.Since(start))
 	return nil
+}
+
+// IngestBatch pushes a batch through the evaluation layer, amortizing
+// match scratch and metric updates across the batch. With shards, the
+// batch is partitioned across workers and events sharing a shard key
+// keep their relative order; otherwise the batch evaluates in order on
+// the caller's goroutine. Processing stops at the first error.
+func (e *Engine) IngestBatch(evs []*event.Event) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.pipeline != nil {
+		for _, ev := range evs {
+			if ev == nil {
+				return errors.New("core: nil event")
+			}
+			if err := e.pipeline.enqueue(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.ingestBatchSync(evs, true)
+}
+
+// ingestBatchSync is the shared synchronous batch loop. With
+// stopOnError, processing aborts at the first failure and returns it
+// (IngestBatch's contract); otherwise failures are counted in
+// ingest.errors and the rest of the batch proceeds (the capture
+// paths' contract — one bad event must not discard a burst).
+func (e *Engine) ingestBatchSync(evs []*event.Event, stopOnError bool) error {
+	sc := e.scratch.Get().(*batchScratch)
+	defer e.scratch.Put(sc)
+	start := time.Now()
+	var attempted, delivered uint64
+	var firstErr error
+	for _, ev := range evs {
+		if ev == nil {
+			if stopOnError {
+				firstErr = errors.New("core: nil event")
+				break
+			}
+			e.Metrics.Counter("ingest.errors").Inc()
+			continue
+		}
+		attempted++
+		n, err := e.evalEvent(ev, sc.m, sc.pub)
+		if err != nil {
+			if stopOnError {
+				firstErr = err
+				break
+			}
+			e.Metrics.Counter("ingest.errors").Inc()
+			continue
+		}
+		delivered += uint64(n)
+	}
+	// One shared-counter update per batch, not per event — on a
+	// many-shard box these atomics are the contended cache lines.
+	e.ingestCount.Add(attempted)
+	e.Metrics.Counter("events.in").Add(attempted)
+	e.Metrics.Counter("events.delivered").Add(delivered)
+	e.Metrics.Histogram("ingest.batch.latency").Observe(time.Since(start))
+	return firstErr
+}
+
+// ingestCapture is the ingest variant used by the engine's own capture
+// callbacks (triggers, watched queries): like Ingest, but on an async
+// engine it never blocks — if the target shard's buffer is full the
+// event is evaluated inline on the capturing goroutine instead. That
+// keeps re-entrant capture (a rule action writing to a captured table
+// from a shard goroutine) deadlock-free at the cost of shard-ordering
+// for the overflow event.
+func (e *Engine) ingestCapture(ev *event.Event) error {
+	if ev == nil {
+		return errors.New("core: nil event")
+	}
+	if e.pipeline != nil {
+		if enqueued, _ := e.pipeline.tryEnqueue(ev); enqueued {
+			return nil
+		}
+		// Full buffer or closed pipeline: evaluate inline. The closed
+		// case is Close's drain — a draining event's rule action can
+		// still capture-cascade, and those derived events must not be
+		// lost for "Close drains in-flight events" to hold.
+	}
+	return e.ingestSync(ev)
+}
+
+// ingestBatchLossy evaluates a batch, continuing past per-event
+// evaluation errors (each counted in ingest.errors) instead of
+// aborting — the capture paths use it so one bad event in a burst
+// doesn't discard the rest.
+func (e *Engine) ingestBatchLossy(evs []*event.Event) {
+	if e.pipeline != nil {
+		for _, ev := range evs {
+			if err := e.pipeline.enqueue(ev); err != nil {
+				e.Metrics.Counter("ingest.errors").Inc()
+			}
+		}
+		return
+	}
+	e.ingestBatchSync(evs, false)
+}
+
+// evalEvent is the evaluation core shared by the sync, batch, and
+// shard-worker paths: rules fire, then pub/sub delivers, returning the
+// delivery count. m and pub are optional reusable scratch; when nil
+// the engine's allocating entry points are used. Metric accounting is
+// left to callers so batch paths can amortize it.
+func (e *Engine) evalEvent(ev *event.Event, m *rules.Matcher, pub *pubsub.Publisher) (int, error) {
+	var err error
+	if m != nil {
+		_, err = m.Eval(ev)
+	} else {
+		_, err = e.Rules.Eval(ev)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: rules: %w", err)
+	}
+	var n int
+	if pub != nil {
+		n, err = pub.Publish(ev)
+	} else {
+		n, err = e.Broker.Publish(ev)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: publish: %w", err)
+	}
+	return n, nil
 }
 
 // IngestAs is Ingest gated by the ACL guard (ActPublish on
@@ -166,15 +372,17 @@ func (e *Engine) TailJournal(f journal.Filter, buffer int) (stop func()) {
 	sub := e.Miner.Tail(f, buffer)
 	done := make(chan struct{})
 	go func() {
+		// Drain opportunistically into batches so a burst of journal
+		// records pays per-event overhead once per batch, not per event.
+		batch := make([]*event.Event, 0, 64)
 		for {
 			select {
 			case ev, ok := <-sub.C:
 				if !ok {
 					return
 				}
-				if err := e.Ingest(ev); err != nil {
-					e.Metrics.Counter("ingest.errors").Inc()
-				}
+				batch = drainInto(sub.C, append(batch[:0], ev))
+				e.ingestBatchLossy(batch)
 			case <-done:
 				return
 			}
@@ -200,14 +408,16 @@ func (e *Engine) WatchQuery(name string, q *query.Query, keyCols ...string) *Wat
 }
 
 // Poll evaluates the query and ingests any result-set change events,
-// returning how many were produced.
+// returning how many were produced. Like the other capture paths it
+// never blocks on a full shard buffer, so it is safe to call from rule
+// actions and handlers on an async engine.
 func (w *WatchedQuery) Poll() (int, error) {
 	evs, err := w.differ.PollEvents()
 	if err != nil {
 		return 0, err
 	}
 	for _, ev := range evs {
-		if err := w.engine.Ingest(ev); err != nil {
+		if err := w.engine.ingestCapture(ev); err != nil {
 			return 0, err
 		}
 	}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eventdb/internal/event"
+	"eventdb/internal/pubsub"
+	"eventdb/internal/rules"
+	"eventdb/internal/val"
+)
+
+func mkEvent(typ string, seq int) *event.Event {
+	return event.New(typ, map[string]any{"seq": seq})
+}
+
+func TestIngestBatchSync(t *testing.T) {
+	e := open(t, Config{})
+	var fired, delivered int
+	e.AddRule("hot", "seq >= 5", 0, func(*event.Event, *rules.Rule) { fired++ })
+	e.Subscribe("s", "ops", "seq >= 5", func(pubsub.Delivery) { delivered++ })
+
+	batch := make([]*event.Event, 10)
+	for i := range batch {
+		batch[i] = mkEvent("reading", i)
+	}
+	if err := e.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 || delivered != 5 {
+		t.Errorf("fired=%d delivered=%d, want 5/5", fired, delivered)
+	}
+	if e.Ingested() != 10 {
+		t.Errorf("ingested = %d", e.Ingested())
+	}
+	if err := e.IngestBatch([]*event.Event{nil}); err == nil {
+		t.Error("nil event accepted")
+	}
+}
+
+// TestConcurrentAsyncIngestExactDelivery fires Ingest and IngestBatch
+// from many goroutines at an async engine and asserts nothing is lost
+// or duplicated under BlockOnFull.
+func TestConcurrentAsyncIngestExactDelivery(t *testing.T) {
+	e := open(t, Config{Shards: 4, ShardBuffer: 64})
+	var delivered atomic.Int64
+	if err := e.Subscribe("all", "ops", "", func(pubsub.Delivery) {
+		delivered.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const perG = 500 // half via Ingest, half via IngestBatch
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			typ := fmt.Sprintf("type%d", g)
+			for i := 0; i < perG/2; i++ {
+				if err := e.Ingest(mkEvent(typ, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			batch := make([]*event.Event, perG/2)
+			for i := range batch {
+				batch[i] = mkEvent(typ, perG/2+i)
+			}
+			if err := e.IngestBatch(batch); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	e.Flush()
+
+	const want = goroutines * perG
+	if got := delivered.Load(); got != want {
+		t.Errorf("delivered = %d, want %d", got, want)
+	}
+	if got := e.Ingested(); got != want {
+		t.Errorf("ingested = %d, want %d", got, want)
+	}
+	if e.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0 under BlockOnFull", e.Dropped())
+	}
+	if e.Shards() != 4 {
+		t.Errorf("shards = %d", e.Shards())
+	}
+}
+
+// TestAsyncPerShardOrdering checks the pipeline's ordering contract:
+// events sharing a shard key (here, the event type) are evaluated in
+// arrival order, even with many producers and shards.
+func TestAsyncPerShardOrdering(t *testing.T) {
+	e := open(t, Config{Shards: 8, ShardBuffer: 32})
+	var mu sync.Mutex
+	lastSeq := map[string]int64{}
+	violations := 0
+	if err := e.Subscribe("all", "ops", "", func(d pubsub.Delivery) {
+		seqV, _ := d.Event.Get("seq")
+		seq, _ := seqV.AsInt()
+		mu.Lock()
+		if prev, ok := lastSeq[d.Event.Type]; ok && seq != prev+1 {
+			violations++
+		}
+		lastSeq[d.Event.Type] = seq
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 24
+	const perKey = 400
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			typ := fmt.Sprintf("key%d", k)
+			for i := 0; i < perKey; i += 8 {
+				batch := make([]*event.Event, 8)
+				for j := range batch {
+					batch[j] = mkEvent(typ, i+j)
+				}
+				if err := e.IngestBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	e.Flush()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if violations != 0 {
+		t.Errorf("%d per-key ordering violations", violations)
+	}
+	if len(lastSeq) != keys {
+		t.Errorf("saw %d keys, want %d", len(lastSeq), keys)
+	}
+	for typ, last := range lastSeq {
+		if last != perKey-1 {
+			t.Errorf("%s ended at seq %d, want %d", typ, last, perKey-1)
+		}
+	}
+}
+
+// TestDropOnFull verifies the lossy backpressure policy: a stalled
+// subscriber fills the one-slot shard buffer and overflow is counted,
+// not blocked on.
+func TestDropOnFull(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	e := open(t, Config{Shards: 1, ShardBuffer: 1, Backpressure: DropOnFull})
+	var delivered atomic.Int64
+	e.Subscribe("slow", "ops", "", func(pubsub.Delivery) {
+		once.Do(func() { close(started) })
+		<-release
+		delivered.Add(1)
+	})
+
+	if err := e.Ingest(mkEvent("x", 0)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is now stalled inside the handler
+	const extra = 50
+	for i := 1; i <= extra; i++ {
+		if err := e.Ingest(mkEvent("x", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Dropped() == 0 {
+		t.Error("no drops despite stalled shard and full buffer")
+	}
+	close(release)
+	e.Flush()
+	if got := delivered.Load() + int64(e.Dropped()); got != extra+1 {
+		t.Errorf("delivered(%d) + dropped(%d) = %d, want %d",
+			delivered.Load(), e.Dropped(), got, extra+1)
+	}
+}
+
+// TestCloseDrainsInFlight asserts Close is a lossless flush under
+// BlockOnFull: everything accepted before Close is evaluated.
+func TestCloseDrainsInFlight(t *testing.T) {
+	e, err := Open(Config{Shards: 2, ShardBuffer: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	e.Subscribe("all", "ops", "", func(pubsub.Delivery) {
+		time.Sleep(10 * time.Microsecond) // keep a backlog alive at Close
+		delivered.Add(1)
+	})
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := e.Ingest(mkEvent(fmt.Sprintf("t%d", i%5), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := delivered.Load(); got != n {
+		t.Errorf("delivered = %d, want %d", got, n)
+	}
+	if err := e.Ingest(mkEvent("late", 0)); err != ErrClosed {
+		t.Errorf("ingest after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestReentrantCaptureDoesNotDeadlock exercises the hazardous shape:
+// a rule action on a shard goroutine writes to a captured table, whose
+// trigger re-enters the ingest path — with a tiny buffer that would
+// wedge a blocking re-entrant send. The capture path's non-blocking
+// fallback must keep the pipeline live and lose nothing.
+func TestReentrantCaptureDoesNotDeadlock(t *testing.T) {
+	e := open(t, Config{Shards: 1, ShardBuffer: 2})
+	if err := e.DB.CreateTable(readingsSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CaptureTable("readings"); err != nil {
+		t.Fatal(err)
+	}
+	var captured atomic.Int64
+	e.Subscribe("cap", "x", "$type = 'db.readings.insert'", func(pubsub.Delivery) {
+		captured.Add(1)
+	})
+	// Every "reading" event inserts a row; the trigger turns that into
+	// a "db.readings.insert" event on the same (only) shard.
+	err := e.AddRule("persist", "$type = 'reading'", 0, func(ev *event.Event, _ *rules.Rule) {
+		if _, err := e.DB.Insert("readings", map[string]val.Value{
+			"meter": val.String("m"), "kwh": val.Float(1),
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if err := e.Ingest(mkEvent("reading", i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("re-entrant capture deadlocked the pipeline")
+	}
+	e.Flush()
+	// Inline-fallback capture events are evaluated before their
+	// triggering event's shard slot frees, so after Flush every
+	// capture must have been delivered.
+	if got := captured.Load(); got != n {
+		t.Errorf("captured %d of %d trigger events", got, n)
+	}
+}
+
+// TestCloseDrainPreservesCaptureCascades: events still in shard
+// buffers at Close whose rule actions write to captured tables must
+// still produce (and evaluate) their derived capture events — the
+// pipeline drains before trigger capture detaches.
+func TestCloseDrainPreservesCaptureCascades(t *testing.T) {
+	e, err := Open(Config{Shards: 2, ShardBuffer: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DB.CreateTable(readingsSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CaptureTable("readings"); err != nil {
+		t.Fatal(err)
+	}
+	var captured atomic.Int64
+	e.Subscribe("cap", "x", "$type = 'db.readings.insert'", func(pubsub.Delivery) {
+		captured.Add(1)
+	})
+	e.AddRule("persist", "$type = 'reading'", 0, func(*event.Event, *rules.Rule) {
+		if _, err := e.DB.Insert("readings", map[string]val.Value{
+			"meter": val.String("m"), "kwh": val.Float(1),
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := e.Ingest(mkEvent("reading", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close immediately: most events are still buffered. Every one of
+	// their trigger cascades must survive the drain.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := captured.Load(); got != n {
+		t.Errorf("captured %d of %d cascade events across Close", got, n)
+	}
+}
+
+// TestIngestSyncBypassesPipeline: IngestSync evaluates inline even on
+// an async engine, so callers can opt into completion-on-return.
+func TestIngestSyncBypassesPipeline(t *testing.T) {
+	e := open(t, Config{Shards: 2})
+	var delivered atomic.Int64
+	e.Subscribe("all", "ops", "", func(pubsub.Delivery) { delivered.Add(1) })
+	if err := e.IngestSync(mkEvent("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if delivered.Load() != 1 {
+		t.Errorf("delivered = %d before any flush, want 1", delivered.Load())
+	}
+}

@@ -27,6 +27,21 @@ func (c *Counter) Add(n uint64) { c.n.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n.Load() }
 
+// Gauge is an instantaneous level (queue depth, shard backlog) that can
+// move in both directions. Safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // LatencyHistogram records durations into exponential buckets
 // (1µs·2^i), supporting approximate percentiles without storing
 // samples. Safe for concurrent use.
@@ -133,6 +148,7 @@ func (h *LatencyHistogram) String() string {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*LatencyHistogram
 }
 
@@ -140,6 +156,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*LatencyHistogram),
 	}
 }
@@ -154,6 +171,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns (creating if needed) a named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns (creating if needed) a named latency histogram.
@@ -175,6 +204,9 @@ func (r *Registry) Snapshot() []string {
 	var out []string
 	for name, c := range r.counters {
 		out = append(out, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		out = append(out, fmt.Sprintf("%s %d", name, g.Value()))
 	}
 	for name, h := range r.hists {
 		out = append(out, fmt.Sprintf("%s %s", name, h.String()))

@@ -90,3 +90,45 @@ func TestRegistry(t *testing.T) {
 		t.Errorf("snapshot[0] = %q", snap[0])
 	}
 }
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(3)
+	g.Add(-5)
+	if g.Value() != 5 {
+		t.Errorf("value = %d", g.Value())
+	}
+	if r.Gauge("depth") != g {
+		t.Error("gauge not interned by name")
+	}
+	found := false
+	for _, line := range r.Snapshot() {
+		if line == "depth 5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("snapshot = %v", r.Snapshot())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Errorf("value = %d after balanced adds", g.Value())
+	}
+}

@@ -148,6 +148,11 @@ func (b *Broker) Publish(ev *event.Event) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return b.deliver(matched, ev)
+}
+
+// deliver routes one matched event to each matching subscription.
+func (b *Broker) deliver(matched []*rules.Rule, ev *event.Event) (int, error) {
 	delivered := 0
 	for _, r := range matched {
 		b.mu.RLock()
@@ -166,6 +171,29 @@ func (b *Broker) Publish(ev *event.Event) (int, error) {
 		delivered++
 	}
 	return delivered, nil
+}
+
+// Publisher carries reusable match scratch for a hot publish loop (the
+// sharded ingest pipeline gives each shard worker one). Not safe for
+// concurrent use; the broker itself remains safe to share.
+type Publisher struct {
+	b *Broker
+	m *rules.Matcher
+}
+
+// NewPublisher creates a Publisher bound to the broker's live
+// subscription set.
+func (b *Broker) NewPublisher() *Publisher {
+	return &Publisher{b: b, m: b.engine.NewMatcher()}
+}
+
+// Publish is Broker.Publish with scratch reuse.
+func (p *Publisher) Publish(ev *event.Event) (int, error) {
+	matched, err := p.m.Match(ev)
+	if err != nil {
+		return 0, err
+	}
+	return p.b.deliver(matched, ev)
 }
 
 // MatchOnly returns the subscription IDs that would receive the event,

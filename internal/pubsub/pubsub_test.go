@@ -229,3 +229,30 @@ func TestPublishTypeErrorPropagates(t *testing.T) {
 		t.Error("type error not propagated")
 	}
 }
+
+func TestPublisherMatchesPublish(t *testing.T) {
+	b := NewBroker()
+	var got []string
+	b.Subscribe("cheap", "x", "price < 100", func(d Delivery) {
+		got = append(got, d.Event.String())
+	})
+	b.Subscribe("acme", "x", "sym = 'ACME'", func(d Delivery) {
+		got = append(got, d.Event.String())
+	})
+
+	// A Publisher matches identically to Broker.Publish.
+	p := b.NewPublisher()
+	for _, ev := range []*event.Event{trade("ACME", 50), trade("Z", 999)} {
+		want, err := b.Publish(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := p.Publish(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Errorf("publisher delivered %d, Publish delivered %d", n, want)
+		}
+	}
+}

@@ -244,9 +244,15 @@ func (e *Engine) unindexLocked(r *Rule) {
 // Match returns the rules whose conditions the event satisfies, ordered
 // by (priority desc, name).
 func (e *Engine) Match(r expr.Resolver) ([]*Rule, error) {
+	return e.matchInto(r, nil, nil)
+}
+
+// matchInto is the matching core shared by Match and Matcher. counts
+// and out are caller-owned scratch (either may be nil); the matched
+// rules are appended to out and returned.
+func (e *Engine) matchInto(r expr.Resolver, counts map[*Rule]int, out []*Rule) ([]*Rule, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	var out []*Rule
 	confirm := func(rule *Rule) error {
 		ok, err := rule.pred.Match(r)
 		if err != nil {
@@ -267,7 +273,9 @@ func (e *Engine) Match(r expr.Resolver) ([]*Rule, error) {
 		return out, nil
 	}
 
-	counts := make(map[*Rule]int)
+	if counts == nil {
+		counts = make(map[*Rule]int)
+	}
 	// Equality probes: for every indexed field, the event's value picks
 	// up the rules anchored on it.
 	for field, byVal := range e.eqIndex {
@@ -314,6 +322,47 @@ func (e *Engine) Match(r expr.Resolver) ([]*Rule, error) {
 // priority order, returning how many rules fired.
 func (e *Engine) Eval(ev *event.Event) (int, error) {
 	matched, err := e.Match(ev)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range matched {
+		if r.Action != nil {
+			r.Action(ev, r)
+		}
+	}
+	return len(matched), nil
+}
+
+// Matcher carries reusable scratch (candidate counts, result slice)
+// for repeated matching, so a hot ingest loop amortizes its per-event
+// allocations to zero. A Matcher is not safe for concurrent use;
+// create one per goroutine — the engine itself remains safe to share.
+type Matcher struct {
+	e      *Engine
+	counts map[*Rule]int
+	out    []*Rule
+}
+
+// NewMatcher creates a Matcher bound to the engine's live rule set.
+func (e *Engine) NewMatcher() *Matcher {
+	return &Matcher{e: e, counts: make(map[*Rule]int)}
+}
+
+// Match is Engine.Match with scratch reuse. The returned slice is
+// owned by the Matcher and only valid until the next Match/Eval call.
+func (m *Matcher) Match(r expr.Resolver) ([]*Rule, error) {
+	clear(m.counts)
+	out, err := m.e.matchInto(r, m.counts, m.out[:0])
+	if out != nil {
+		m.out = out
+	}
+	return out, err
+}
+
+// Eval matches the event and runs each matching rule's action in
+// priority order, returning how many rules fired.
+func (m *Matcher) Eval(ev *event.Event) (int, error) {
+	matched, err := m.Match(ev)
 	if err != nil {
 		return 0, err
 	}

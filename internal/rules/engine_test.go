@@ -276,3 +276,71 @@ func TestErrorsPropagateFromConditions(t *testing.T) {
 		t.Error("type error not propagated")
 	}
 }
+
+func TestMatcherAgreesWithMatch(t *testing.T) {
+	e := NewEngine(Options{Indexed: true})
+	for i := 0; i < 50; i++ {
+		e.Add(fmt.Sprintf("eq%d", i), fmt.Sprintf("site = 'site%d'", i%10), i%3, nil)
+		e.Add(fmt.Sprintf("rng%d", i), fmt.Sprintf("level > %d", i%7), 0, nil)
+	}
+	e.Add("residual", "lower(site) != 'zzz'", 0, nil)
+	m := e.NewMatcher()
+	for i := 0; i < 30; i++ {
+		ev := mkEvent(map[string]any{"site": fmt.Sprintf("site%d", i%12), "level": i % 9})
+		want, err := e.Match(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Match(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("event %d: matcher found %d rules, Match found %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("event %d: rule %d differs: %s vs %s", i, j, got[j].Name, want[j].Name)
+			}
+		}
+	}
+}
+
+func TestMatcherEvalRunsActions(t *testing.T) {
+	e := NewEngine(Options{Indexed: true})
+	fired := 0
+	e.Add("hot", "temp > 30", 0, func(*event.Event, *Rule) { fired++ })
+	m := e.NewMatcher()
+	total := 0
+	for _, ev := range []*event.Event{
+		mkEvent(map[string]any{"temp": 35}),
+		mkEvent(map[string]any{"temp": 10}),
+		mkEvent(map[string]any{"temp": 40}),
+	} {
+		n, err := m.Eval(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 2 || fired != 2 {
+		t.Errorf("total=%d fired=%d, want 2/2", total, fired)
+	}
+}
+
+func TestMatcherSeesRuleChurn(t *testing.T) {
+	e := NewEngine(Options{Indexed: true})
+	m := e.NewMatcher()
+	ev := mkEvent(map[string]any{"x": 1})
+	if got, _ := m.Match(ev); len(got) != 0 {
+		t.Fatalf("matched %d in empty engine", len(got))
+	}
+	e.Add("r", "x = 1", 0, nil)
+	if got, _ := m.Match(ev); len(got) != 1 {
+		t.Error("matcher missed rule added after creation")
+	}
+	e.Remove("r")
+	if got, _ := m.Match(ev); len(got) != 0 {
+		t.Error("matcher saw removed rule")
+	}
+}
