@@ -1,4 +1,4 @@
-// Experiment benchmarks E1–E13. Each benchmark regenerates one row or
+// Experiment benchmarks E1–E14. Each benchmark regenerates one row or
 // series of the experiment tables in EXPERIMENTS.md; cmd/edabench runs
 // curated sweeps of the same code and prints the tables.
 //
@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"eventdb/client"
 	"eventdb/internal/analytics"
 	"eventdb/internal/cep"
 	"eventdb/internal/core"
@@ -530,7 +531,7 @@ func BenchmarkE11ExternalEval(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := server.Dial(srv.Addr())
+	c, err := client.Dial(srv.Addr())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -702,5 +703,140 @@ func BenchmarkE12Forward(b *testing.B) {
 				qs[hops].Ack(msg.Receipt)
 			}
 		})
+	}
+}
+
+// --- E14: external streaming path --------------------------------------
+
+// BenchmarkE14StreamingPush measures the end-to-end external streaming
+// path: events published on one connection, matched in the engine, and
+// pushed as EVT lines to a subscriber on another connection — the
+// §2.2.c.iii comparison partner of BenchmarkE11InternalEval with
+// delivery over the wire instead of a function call.
+func BenchmarkE14StreamingPush(b *testing.B) {
+	eng := e11Engine(b)
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	subConn, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer subConn.Close()
+	sub, err := subConn.Subscribe("all", "", 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
+	batch := make([]*client.Event, 64)
+	for i := range batch {
+		batch[i] = ev
+	}
+	b.ResetTimer()
+	received := 0
+	for received < b.N {
+		want := b.N - received
+		if want > len(batch) {
+			want = len(batch)
+		}
+		if _, err := pub.PublishBatch(batch[:want]); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < want; i++ {
+			if _, ok := <-sub.C; !ok {
+				b.Fatal("subscription closed")
+			}
+		}
+		received += want
+	}
+	if d := sub.Dropped(); d != 0 {
+		b.Fatalf("dropped %d pushes client-side", d)
+	}
+}
+
+// BenchmarkE14WirePublishBatch isolates the ingest half of the wire:
+// PUBB batches feeding Engine.IngestBatch, no subscribers attached.
+func BenchmarkE14WirePublishBatch(b *testing.B) {
+	eng := e11Engine(b)
+	srv, err := server.Start(eng, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	pub, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
+	batch := make([]*client.Event, 64)
+	for i := range batch {
+		batch[i] = ev
+	}
+	b.ResetTimer()
+	sent := 0
+	for sent < b.N {
+		want := b.N - sent
+		if want > len(batch) {
+			want = len(batch)
+		}
+		if _, err := pub.PublishBatch(batch[:want]); err != nil {
+			b.Fatal(err)
+		}
+		sent += want
+	}
+}
+
+// BenchmarkE14ContinuousQueryWire streams incremental CQ results over
+// the wire: each published trade updates a windowed aggregate whose
+// result event is pushed back.
+func BenchmarkE14ContinuousQueryWire(b *testing.B) {
+	eng, err := core.Open(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	subConn, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer subConn.Close()
+	sub, err := subConn.ContinuousQuery("vwap", client.CQSpec{
+		GroupBy: []string{"sym"},
+		Aggs: []client.CQAgg{
+			{Alias: "n", Kind: client.Count},
+			{Alias: "avg_px", Kind: client.Avg, Attr: "price"},
+		},
+		Window: client.CQWindow{Kind: client.CountWindow, Size: 256},
+	}, 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	gen := workload.NewTrades(7, 8, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.Publish(gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := <-sub.C; !ok {
+			b.Fatal("subscription closed")
+		}
 	}
 }

@@ -1,0 +1,477 @@
+// Package client is the Go client library for an eventdb streaming
+// server (internal/server, served by cmd/eventdbd). It speaks the
+// full-duplex line protocol: request/reply commands (Publish,
+// PublishBatch, Match, Ping, Stats) multiplex over one TCP connection
+// with asynchronously pushed "EVT" lines, which the client routes to
+// per-subscription channels.
+//
+//	c, err := client.Dial("127.0.0.1:7070")
+//	if err != nil { ... }
+//	defer c.Close()
+//
+//	sub, err := c.Subscribe("hot", "temp > 30", 64)
+//	if err != nil { ... }
+//	go func() {
+//		for ev := range sub.C {
+//			fmt.Println("pushed:", ev)
+//		}
+//	}()
+//	c.Publish(client.NewEvent("reading", map[string]any{"temp": 35}))
+//
+// One goroutine owns the socket's read side and demultiplexes; any
+// number of goroutines may issue requests concurrently. If a pushed
+// event arrives for a subscription whose channel is full, the event is
+// dropped client-side and counted (Subscription.Dropped) — a slow
+// consumer loses pushes rather than stalling every subscription on the
+// connection. Size the channel (or drain faster) to taste.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"eventdb/internal/cq"
+	"eventdb/internal/event"
+)
+
+// Event is the event record exchanged with the server (an alias of the
+// root eventdb package's Event).
+type Event = event.Event
+
+// NewEvent builds an event with a fresh ID and the current time.
+func NewEvent(typ string, attrs map[string]any) *Event { return event.New(typ, attrs) }
+
+// CQSpec declares a continuous query to attach over the wire: a
+// standing filtered, grouped, windowed aggregation evaluated inside
+// the server, pushing an updated result whenever the stream changes it.
+type CQSpec = cq.Def
+
+// CQAgg is one aggregate output of a CQSpec.
+type CQAgg = cq.AggDef
+
+// CQWindow bounds the stream portion a CQSpec aggregates.
+type CQWindow = cq.Window
+
+// Aggregate kinds for CQAgg.Kind.
+const (
+	Count = cq.Count
+	Sum   = cq.Sum
+	Avg   = cq.Avg
+	Min   = cq.Min
+	Max   = cq.Max
+)
+
+// Window kinds for CQWindow.Kind.
+const (
+	CountWindow = cq.CountWindow
+	TimeWindow  = cq.TimeWindow
+)
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// Conn is a connection to an eventdb server. Safe for concurrent use.
+type Conn struct {
+	nc net.Conn
+
+	sendMu  sync.Mutex       // serializes request writes with waiter order
+	w       *bufio.Writer    // guarded by sendMu
+	pending chan chan string // FIFO of reply waiters
+
+	mu     sync.Mutex // guards subs, closed, err, and channel closes
+	subs   map[string]*Subscription
+	closed bool
+	err    error
+
+	done chan struct{} // closed when the connection dies
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	c := &Conn{
+		nc:      nc,
+		w:       bufio.NewWriterSize(nc, 1<<16),
+		pending: make(chan chan string, 128),
+		subs:    make(map[string]*Subscription),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down. Subscription channels close; blocked
+// calls fail with ErrClosed.
+func (c *Conn) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+// Err reports why the connection died (nil while it is alive).
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.err
+	}
+	return nil
+}
+
+// fail marks the connection dead, closes the socket, and closes every
+// subscription channel. Idempotent; the first cause wins.
+func (c *Conn) fail(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = cause
+	for _, s := range c.subs {
+		close(s.ch)
+	}
+	c.subs = map[string]*Subscription{}
+	c.mu.Unlock()
+	close(c.done) // wakes reply waiters
+	c.nc.Close()
+}
+
+// readLoop owns the socket's read side: pushed EVT lines route to
+// subscription channels, everything else resolves the oldest pending
+// reply waiter (the server replies in request order).
+func (c *Conn) readLoop() {
+	r := bufio.NewReaderSize(c.nc, 1<<16)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			c.fail(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if rest, ok := strings.CutPrefix(line, "EVT "); ok {
+			id, body, _ := strings.Cut(rest, " ")
+			ev, err := event.UnmarshalJSONEvent([]byte(body))
+			if err != nil {
+				continue // a malformed push must not kill the connection
+			}
+			c.mu.Lock()
+			if s, ok := c.subs[id]; ok {
+				select {
+				case s.ch <- ev:
+				default:
+					s.dropped.Add(1)
+				}
+			}
+			c.mu.Unlock()
+			continue
+		}
+		select {
+		case w := <-c.pending:
+			w <- line
+		default:
+			// An unsolicited ERR is a connection-level refusal (e.g. a
+			// full server's "connection limit reached"): surface the
+			// server's own message rather than a demux complaint.
+			if msg, ok := strings.CutPrefix(line, "ERR "); ok {
+				c.fail(fmt.Errorf("client: server refused: %s", msg))
+			} else {
+				c.fail(fmt.Errorf("client: unsolicited reply %q", line))
+			}
+			return
+		}
+	}
+}
+
+// call sends one request (plus optional extra lines, for batches) and
+// waits for its single-line reply, with "ERR" replies surfaced as
+// errors and the "OK " prefix stripped.
+func (c *Conn) call(req string, extra ...string) (string, error) {
+	waiter := make(chan string, 1)
+	c.sendMu.Lock()
+	if err := c.Err(); err != nil {
+		c.sendMu.Unlock()
+		return "", err
+	}
+	// Queue the waiter before flushing: the reply can arrive the moment
+	// the bytes hit the wire, and the reader must find it pending. The
+	// done case keeps a full pending queue on a dead connection from
+	// wedging this caller (and sendMu) forever.
+	select {
+	case c.pending <- waiter:
+	case <-c.done:
+		c.sendMu.Unlock()
+		return "", c.err
+	}
+	c.w.WriteString(req)
+	c.w.WriteByte('\n')
+	for _, line := range extra {
+		c.w.WriteString(line)
+		c.w.WriteByte('\n')
+	}
+	if err := c.w.Flush(); err != nil {
+		c.sendMu.Unlock()
+		c.fail(fmt.Errorf("client: write: %w", err))
+		return "", err
+	}
+	c.sendMu.Unlock()
+	select {
+	case line := <-waiter:
+		if msg, ok := strings.CutPrefix(line, "ERR "); ok {
+			return "", errors.New(msg)
+		}
+		return strings.TrimPrefix(line, "OK "), nil
+	case <-c.done:
+		return "", c.err
+	}
+}
+
+// Ping round-trips a liveness check.
+func (c *Conn) Ping() error {
+	resp, err := c.call("PING")
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("client: unexpected ping reply %q", resp)
+	}
+	return nil
+}
+
+// Publish sends one event for full evaluation, returning the number of
+// deliveries it caused (0 when the server ingests through an async
+// pipeline, where evaluation happens after the reply).
+func (c *Conn) Publish(ev *Event) (int, error) {
+	data, err := event.MarshalJSONEvent(ev)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.call("PUB " + string(data))
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(resp)
+	if err != nil {
+		return 0, fmt.Errorf("client: bad PUB reply %q", resp)
+	}
+	return n, nil
+}
+
+// maxBatch mirrors the server's PUBB cap; larger batches are split
+// transparently.
+const maxBatch = 65536
+
+// PublishBatch sends a batch of events in one round-trip (one per
+// 65536-event chunk for oversized batches); the server ingests them
+// through its sharded batch pipeline. Returns the number of events
+// accepted.
+func (c *Conn) PublishBatch(evs []*Event) (int, error) {
+	total := 0
+	for len(evs) > 0 {
+		chunk := evs
+		if len(chunk) > maxBatch {
+			chunk = chunk[:maxBatch]
+		}
+		evs = evs[len(chunk):]
+		n, err := c.publishChunk(chunk)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (c *Conn) publishChunk(evs []*Event) (int, error) {
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	lines := make([]string, len(evs))
+	for i, ev := range evs {
+		data, err := event.MarshalJSONEvent(ev)
+		if err != nil {
+			return 0, fmt.Errorf("client: event %d: %w", i, err)
+		}
+		lines[i] = string(data)
+	}
+	resp, err := c.call(fmt.Sprintf("PUBB %d", len(evs)), lines...)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(resp)
+	if err != nil {
+		return 0, fmt.Errorf("client: bad PUBB reply %q", resp)
+	}
+	return n, nil
+}
+
+// Match asks which subscriptions stored in the server would receive
+// the event, without delivering it.
+func (c *Conn) Match(ev *Event) ([]string, error) {
+	data, err := event.MarshalJSONEvent(ev)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call("MATCH " + string(data))
+	if err != nil {
+		return nil, err
+	}
+	if resp == "" {
+		return nil, nil
+	}
+	return strings.Split(resp, ","), nil
+}
+
+// Subscription is a stream of pushed events. Receive from C; the
+// channel closes when the subscription or connection closes.
+type Subscription struct {
+	// C delivers pushed events (matched events for Subscribe, updated
+	// results for ContinuousQuery).
+	C <-chan *Event
+
+	id      string
+	c       *Conn
+	ch      chan *Event
+	dropped atomic.Uint64
+}
+
+// ID returns the subscription's wire id.
+func (s *Subscription) ID() string { return s.id }
+
+// Dropped reports pushes discarded client-side because C's buffer was
+// full when they arrived.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the server and closes C.
+func (s *Subscription) Close() error {
+	s.c.mu.Lock()
+	if _, ok := s.c.subs[s.id]; !ok {
+		s.c.mu.Unlock()
+		return nil // already closed (or the connection died)
+	}
+	delete(s.c.subs, s.id)
+	close(s.ch)
+	s.c.mu.Unlock()
+	_, err := s.c.call("UNSUB " + s.id)
+	return err
+}
+
+// register installs a subscription before its wire command is sent, so
+// no push can arrive unrouted, and removes it again if the command is
+// refused.
+func (c *Conn) register(id string, buffer int, send func() error) (*Subscription, error) {
+	if strings.ContainsAny(id, " \r\n") || id == "" {
+		return nil, fmt.Errorf("client: bad subscription id %q", id)
+	}
+	if buffer <= 0 {
+		buffer = 64
+	}
+	s := &Subscription{id: id, c: c, ch: make(chan *Event, buffer)}
+	s.C = s.ch
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, c.err
+	}
+	if _, dup := c.subs[id]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: subscription %q already exists", id)
+	}
+	c.subs[id] = s
+	c.mu.Unlock()
+	if err := send(); err != nil {
+		c.mu.Lock()
+		if _, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(s.ch)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Subscribe registers a predicate subscription on the server; events
+// published on any connection that match filter are pushed to the
+// returned Subscription's channel (buffered to buffer, default 64).
+// The empty filter matches every event.
+func (c *Conn) Subscribe(id, filter string, buffer int) (*Subscription, error) {
+	if strings.ContainsAny(filter, "\r\n") {
+		// A newline would smuggle extra protocol lines onto the wire.
+		return nil, fmt.Errorf("client: filter must not contain newlines")
+	}
+	return c.register(id, buffer, func() error {
+		_, err := c.call(strings.TrimRight("SUB "+id+" "+filter, " "))
+		return err
+	})
+}
+
+// ContinuousQuery attaches a standing windowed aggregation evaluated
+// inside the server; each change to its result pushes an updated
+// result event (type "cq.<id>") to the returned channel.
+func (c *Conn) ContinuousQuery(id string, spec CQSpec, buffer int) (*Subscription, error) {
+	spec.Name = id
+	data, err := cq.MarshalSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.register(id, buffer, func() error {
+		_, err := c.call("CQ " + id + " " + string(data))
+		return err
+	})
+}
+
+// Stats is a snapshot of the server-side state of this connection.
+type Stats struct {
+	// Sent is the number of lines (replies and pushes) the server has
+	// written to this connection.
+	Sent uint64
+	// Dropped is the number of pushes the server discarded because
+	// this connection's outbound queue was full (DropOnFull servers).
+	Dropped uint64
+	// Queued is the current depth of the server-side outbound queue.
+	Queued int
+	// Subs and CQs count this connection's active subscriptions and
+	// continuous queries.
+	Subs, CQs int
+}
+
+// Stats fetches the server-side counters for this connection.
+func (c *Conn) Stats() (Stats, error) {
+	resp, err := c.call("STATS")
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	for _, field := range strings.Fields(resp) {
+		key, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Stats{}, fmt.Errorf("client: bad STATS field %q", field)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return Stats{}, fmt.Errorf("client: bad STATS field %q", field)
+		}
+		switch key {
+		case "sent":
+			st.Sent = n
+		case "dropped":
+			st.Dropped = n
+		case "queued":
+			st.Queued = int(n)
+		case "subs":
+			st.Subs = int(n)
+		case "cqs":
+			st.CQs = int(n)
+		}
+	}
+	return st, nil
+}

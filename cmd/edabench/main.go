@@ -1,7 +1,9 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E13 from DESIGN.md, each checking a claim
+// one table per experiment E1–E14 from DESIGN.md, each checking a claim
 // of the tutorial. Run with -quick for smaller sweeps; -shards and
-// -batch pin the E13 pipeline sweep to one configuration.
+// -batch pin the E13 pipeline sweep to one configuration; -subs sets
+// the E14 wire-subscriber count and -net points E14's streaming half
+// at an already-running eventdbd instead of an in-process server.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eventdb/client"
 	"eventdb/internal/analytics"
 	"eventdb/internal/cep"
 	"eventdb/internal/core"
@@ -35,7 +38,9 @@ import (
 var (
 	quick     = flag.Bool("quick", false, "smaller sweeps")
 	shardsArg = flag.Int("shards", 0, "E13: fixed shard count (0 = sweep 1,2,4,8)")
-	batchArg  = flag.Int("batch", 256, "E13: ingest batch size")
+	batchArg  = flag.Int("batch", 256, "E13/E14: ingest batch size")
+	subsArg   = flag.Int("subs", 4, "E14: wire subscriber connections")
+	netArg    = flag.String("net", "", "E14: address of a running eventdbd (empty = in-process server)")
 )
 
 func main() {
@@ -53,6 +58,7 @@ func main() {
 	e11()
 	e12()
 	e13()
+	e14()
 }
 
 // rate times n iterations of f and returns ops/sec and ns/op.
@@ -491,7 +497,7 @@ func e11() {
 	srv, err := server.Start(eng, "127.0.0.1:0")
 	must(err)
 	defer srv.Close()
-	c, err := server.Dial(srv.Addr())
+	c, err := client.Dial(srv.Addr())
 	must(err)
 	defer c.Close()
 	_, externalNs := rate(n(20000, 2000), func(int) {
@@ -636,6 +642,131 @@ func e13() {
 		fmt.Printf("| async pipeline | %d | %d | %.0f | %.1fx | %d |\n",
 			shards, producers, tp, tp/base, delivered.Load())
 	}
+}
+
+// e14Expected counts how many of the E13 events match the E14
+// subscriber filter (price > 900), so delivery can be asserted exact.
+func e14Expected(evs []*event.Event) int {
+	matching := 0
+	for _, ev := range evs {
+		if v, ok := ev.Get("price"); ok {
+			if f, ok := v.AsFloat(); ok && f > 900 {
+				matching++
+			}
+		}
+	}
+	return matching
+}
+
+func e14() {
+	header("E14", "external streaming path vs internal evaluation (§2.2.c.iii)")
+	N := n(100000, 10000)
+	M := *subsArg
+	if M <= 0 {
+		M = 4
+	}
+	batch := *batchArg
+	if batch <= 0 {
+		batch = 256
+	}
+	const filter = "price > 900" // ≈10% selectivity over the E13 stream
+	evs := e13Events(N)
+	expected := e14Expected(evs)
+
+	fmt.Println("| path | subscribers | events/sec in | notifications/sec out | vs internal |")
+	fmt.Println("|---|---|---|---|---|")
+
+	// Internal evaluation: subscriptions live in-process, handlers are
+	// function calls on the ingest goroutine.
+	eng, err := core.Open(core.Config{})
+	must(err)
+	for i := 0; i < 1000; i++ {
+		must(eng.AddRule(fmt.Sprintf("r%d", i), fmt.Sprintf("sym = 'S%d'", i), 0, nil))
+	}
+	var internalDelivered atomic.Int64
+	for s := 0; s < M; s++ {
+		must(eng.Subscribe(fmt.Sprintf("s%d", s), "bench", filter, func(pubsub.Delivery) {
+			internalDelivered.Add(1)
+		}))
+	}
+	start := time.Now()
+	for i := 0; i < len(evs); i += batch {
+		end := i + batch
+		if end > len(evs) {
+			end = len(evs)
+		}
+		must(eng.IngestBatch(evs[i:end]))
+	}
+	internalSecs := time.Since(start).Seconds()
+	if got := internalDelivered.Load(); got != int64(M*expected) {
+		must(fmt.Errorf("internal delivered %d, want %d", got, M*expected))
+	}
+	eng.Close()
+	internalIn := float64(N) / internalSecs
+	internalOut := float64(M*expected) / internalSecs
+	fmt.Printf("| internal (in-engine) | %d | %.0f | %.0f | 1.0x |\n", M, internalIn, internalOut)
+
+	// External streaming: subscribers attach over TCP and matches are
+	// pushed to them; the publisher feeds PUBB batches on its own
+	// connection. End-to-end: the clock stops when every subscriber has
+	// received every matching event over the wire.
+	addr := *netArg
+	if addr == "" {
+		eng2, err := core.Open(core.Config{})
+		must(err)
+		defer eng2.Close()
+		for i := 0; i < 1000; i++ {
+			must(eng2.AddRule(fmt.Sprintf("r%d", i), fmt.Sprintf("sym = 'S%d'", i), 0, nil))
+		}
+		srv, err := server.StartConfig(eng2, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+		must(err)
+		defer srv.Close()
+		addr = srv.Addr()
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < M; s++ {
+		c, err := client.Dial(addr)
+		must(err)
+		defer c.Close()
+		// Buffer the whole expected stream so a scheduling hiccup in the
+		// drain goroutine can never overflow the client-side channel.
+		sub, err := c.Subscribe("bench", filter, expected+1)
+		must(err)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < expected; i++ {
+				select {
+				case _, ok := <-sub.C:
+					if !ok {
+						must(fmt.Errorf("subscriber lost connection after %d of %d", i, expected))
+					}
+				case <-time.After(30 * time.Second):
+					// A -net server running -drop-on-full can shed pushes,
+					// which would otherwise hang this exact-count drain.
+					must(fmt.Errorf("subscriber stalled at %d of %d (server dropping pushes? E14 needs a block-on-full server)", i, expected))
+				}
+			}
+		}()
+	}
+	pub, err := client.Dial(addr)
+	must(err)
+	defer pub.Close()
+	start = time.Now()
+	for i := 0; i < len(evs); i += batch {
+		end := i + batch
+		if end > len(evs) {
+			end = len(evs)
+		}
+		_, err := pub.PublishBatch(evs[i:end])
+		must(err)
+	}
+	wg.Wait() // all notifications received over the wire
+	externalSecs := time.Since(start).Seconds()
+	externalIn := float64(N) / externalSecs
+	externalOut := float64(M*expected) / externalSecs
+	fmt.Printf("| external (TCP streaming) | %d | %.0f | %.0f | %.1fx |\n",
+		M, externalIn, externalOut, externalSecs/internalSecs)
 }
 
 func max(a, b int) int {

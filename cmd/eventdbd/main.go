@@ -2,18 +2,26 @@
 //
 // Usage:
 //
-//	eventdbd [-addr host:port] [-dir path] [-shards n] [-rule name=condition]...
+//	eventdbd [-addr host:port] [-dir path] [-shards n] [-shard-buffer n]
+//	         [-drop-on-full] [-max-conns n] [-sub-buffer n]
+//	         [-rule name=condition]...
 //
-// Foreign systems publish JSON events with the line protocol documented
-// in internal/server; matching rules and subscriptions evaluate inside
-// the database process (the paper's "internal evaluation" path).
+// Foreign systems speak the streaming line protocol documented in
+// internal/server: they publish JSON events (PUB, and PUBB for
+// batches), and they register subscriptions (SUB) and continuous
+// queries (CQ) whose matches are pushed back as EVT lines — rules,
+// subscriptions and windows all evaluate inside the database process
+// (the paper's "internal evaluation" path).
 //
 // With -shards N, published events enter the asynchronous sharded
 // ingest pipeline instead of evaluating on the connection handler's
-// goroutine: PUB returns as soon as the event is accepted (its
-// delivery count becomes approximate), and throughput scales with
-// cores. -shard-buffer sizes each shard's bounded queue and
-// -drop-on-full trades loss for bounded latency under overload.
+// goroutine: PUB returns as soon as the event is accepted (its reply
+// reports 0 deliveries, since evaluation happens later on a shard),
+// and throughput scales with cores. -shard-buffer sizes each shard's bounded queue and
+// -drop-on-full trades loss for bounded latency under overload — for
+// both the ingest shards and each connection's outbound push queue,
+// whose capacity -sub-buffer sets. -max-conns caps concurrent client
+// connections; excess connections are refused at the protocol level.
 package main
 
 import (
@@ -45,7 +53,9 @@ func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	shards := flag.Int("shards", 0, "async ingest pipeline width (0 = synchronous)")
 	shardBuffer := flag.Int("shard-buffer", 1024, "per-shard bounded queue capacity")
-	dropOnFull := flag.Bool("drop-on-full", false, "drop events when a shard buffer is full instead of blocking")
+	dropOnFull := flag.Bool("drop-on-full", false, "drop instead of blocking when a shard buffer or connection push queue is full")
+	maxConns := flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
+	subBuffer := flag.Int("sub-buffer", 256, "per-connection outbound push queue capacity in lines")
 	var ruleDefs ruleFlags
 	flag.Var(&ruleDefs, "rule", "rule as name=condition (repeatable); matches are logged")
 	flag.Parse()
@@ -78,12 +88,17 @@ func main() {
 		log.Printf("rule %s: %s", name, cond)
 	}
 
-	srv, err := server.Start(eng, *addr)
+	srvCfg := server.Config{MaxConns: *maxConns, SubBuffer: *subBuffer}
+	if *dropOnFull {
+		srvCfg.Overflow = server.DropOnFull
+	}
+	srv, err := server.StartConfig(eng, *addr, srvCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("eventdbd listening on %s (dir=%q)\n", srv.Addr(), *dir)
+	fmt.Printf("eventdbd listening on %s (dir=%q, max-conns=%d, sub-buffer=%d, push-overflow=%s)\n",
+		srv.Addr(), *dir, *maxConns, *subBuffer, srvCfg.Overflow)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -28,6 +28,7 @@
 //
 //   - Engine.IngestBatch evaluates a slice of events with shared match
 //     scratch, amortizing per-event overhead.
+//
 //   - Config{Shards: N} turns the front door into an asynchronous
 //     sharded pipeline: events are hash-partitioned by event type (or
 //     a custom Config.ShardKey) across N workers, each draining a
@@ -40,9 +41,9 @@
 //     mode rule actions and subscription handlers run on shard
 //     goroutines and must be safe for concurrent use.
 //
-//	eng, _ := eventdb.Open(eventdb.Config{Shards: 4})
-//	eng.IngestBatch(batch) // partitioned across 4 workers
-//	eng.Flush()
+//     eng, _ := eventdb.Open(eventdb.Config{Shards: 4})
+//     eng.IngestBatch(batch) // partitioned across 4 workers
+//     eng.Flush()
 //
 // The subpackages under internal/ implement each subsystem; this package
 // re-exports the surface a downstream application needs.

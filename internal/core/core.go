@@ -165,13 +165,8 @@ func (e *Engine) Close() error {
 // shard and returns once accepted; evaluation errors are counted in
 // the ingest.errors metric, and Flush/Close drain the backlog.
 func (e *Engine) Ingest(ev *event.Event) error {
-	if ev == nil {
-		return errors.New("core: nil event")
-	}
-	if e.pipeline != nil {
-		return e.pipeline.enqueue(ev)
-	}
-	return e.IngestSync(ev)
+	_, err := e.IngestCount(ev)
+	return err
 }
 
 // IngestSync runs the full rules→pub/sub pass on the caller's
@@ -183,22 +178,41 @@ func (e *Engine) IngestSync(ev *event.Event) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	return e.ingestSync(ev)
+	_, err := e.ingestSync(ev)
+	return err
 }
 
 // ingestSync is IngestSync without the closed check, so capture
-// cascades during Close's drain still evaluate.
-func (e *Engine) ingestSync(ev *event.Event) error {
+// cascades during Close's drain still evaluate. It returns the
+// delivery count so callers that answer for one event (the wire
+// protocol's PUB) don't have to infer it from shared counters.
+func (e *Engine) ingestSync(ev *event.Event) (int, error) {
 	start := time.Now()
 	e.ingestCount.Add(1)
 	e.Metrics.Counter("events.in").Inc()
 	n, err := e.evalEvent(ev, nil, nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	e.Metrics.Counter("events.delivered").Add(uint64(n))
 	e.Metrics.Histogram("ingest.latency").Observe(time.Since(start))
-	return nil
+	return n, nil
+}
+
+// IngestCount is Ingest returning this event's exact delivery count.
+// On an async engine the event is only enqueued, evaluation happens
+// later on a shard goroutine, and the count is reported as 0.
+func (e *Engine) IngestCount(ev *event.Event) (int, error) {
+	if ev == nil {
+		return 0, errors.New("core: nil event")
+	}
+	if e.pipeline != nil {
+		return 0, e.pipeline.enqueue(ev)
+	}
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	return e.ingestSync(ev)
 }
 
 // IngestBatch pushes a batch through the evaluation layer, amortizing
@@ -285,7 +299,8 @@ func (e *Engine) ingestCapture(ev *event.Event) error {
 		// still capture-cascade, and those derived events must not be
 		// lost for "Close drains in-flight events" to hold.
 	}
-	return e.ingestSync(ev)
+	_, err := e.ingestSync(ev)
+	return err
 }
 
 // ingestBatchLossy evaluates a batch, continuing past per-event

@@ -1,18 +1,40 @@
-// Package server exposes an engine over TCP with a line-oriented
-// protocol, giving foreign systems the "external" path into the message
-// store (§2.2.b.i.2) — and giving the benchmarks a realistic
-// external-client baseline against which internal evaluation is
-// compared (§2.2.c.iii: "the evaluation of internal data can
-// significantly be optimized").
+// Package server exposes an engine over TCP with a full-duplex,
+// line-oriented streaming protocol. Beyond the request/response
+// external path into the message store (§2.2.b.i.2), foreign systems
+// can register subscriptions and continuous queries whose matches are
+// *pushed* to them as events arrive — the paper's extension of
+// traditional publish/subscribe with predicates stored and evaluated
+// inside the store (§2.2.c.i.2), finally reachable over the wire.
 //
-// Protocol (one request per line):
+// Requests (one per line; <id> is any token without spaces):
 //
-//	PUB <json-event>   → "OK <deliveries>" after rules+pubsub evaluation
-//	MATCH <json-event> → "OK <sub,sub,...>" — match only, no delivery
-//	PING               → "PONG"
-//	QUIT               → closes the connection
+//	PUB <json-event>    → "OK <deliveries>" after rules+pubsub evaluation
+//	PUBB <n>            → next n lines are JSON events, batch-ingested
+//	                      through the sharded pipeline; one "OK <n>" reply
+//	MATCH <json-event>  → "OK <sub,sub,...>" — match only, no delivery
+//	SUB <id> <filter>   → "OK"; pushes "EVT <id> <json-event>" on match
+//	CQ <id> <json-spec> → "OK"; attaches a continuous query (see
+//	                      cq.ParseSpec) and pushes incremental results
+//	                      as "EVT <id> <json-event>"
+//	UNSUB <id>          → "OK"; detaches a subscription or CQ
+//	STATS               → "OK sent=N dropped=N queued=N subs=N cqs=N"
+//	PING                → "PONG"
+//	QUIT                → closes the connection
 //
-// Responses are single lines; errors are "ERR <message>".
+// Replies are single lines in request order; errors are "ERR <message>".
+// Pushed "EVT" lines interleave with replies at line granularity —
+// clients demultiplex on the "EVT " prefix.
+//
+// # Backpressure
+//
+// Every outbound line passes through a per-connection bounded queue
+// drained by one writer goroutine, so one slow consumer cannot stall
+// the engine or other connections — the same bounded-buffer discipline
+// as the engine's shard pipeline. Command replies always block until
+// queued (they are bounded by request rate); pushed EVT lines follow
+// the configured Overflow policy: BlockOnFull propagates pressure to
+// the publishing goroutine, DropOnFull drops the push and counts it in
+// the connection's drop counter (surfaced by STATS).
 package server
 
 import (
@@ -23,29 +45,89 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"eventdb/internal/core"
+	"eventdb/internal/cq"
 	"eventdb/internal/event"
+	"eventdb/internal/pubsub"
+)
+
+// Overflow selects what pushing to a connection with a full outbound
+// queue does.
+type Overflow int
+
+const (
+	// BlockOnFull (the default) blocks the publishing goroutine until
+	// the connection's writer drains — lossless, propagates pressure
+	// into the engine.
+	BlockOnFull Overflow = iota
+	// DropOnFull drops the pushed line and counts it in the
+	// connection's drop counter — bounded latency, lossy per consumer.
+	DropOnFull
+)
+
+// String names the policy for logs and flags.
+func (o Overflow) String() string {
+	if o == DropOnFull {
+		return "drop"
+	}
+	return "block"
+}
+
+// Config tunes the server.
+type Config struct {
+	// MaxConns caps concurrent client connections; excess connections
+	// are refused with "ERR connection limit reached". 0 = unlimited.
+	MaxConns int
+	// SubBuffer is each connection's outbound queue capacity in lines
+	// (default 256).
+	SubBuffer int
+	// Overflow picks the full-queue policy for pushed EVT lines.
+	Overflow Overflow
+}
+
+const (
+	defaultSubBuffer = 256
+	// maxBatch caps PUBB so a client cannot make the server buffer an
+	// unbounded batch.
+	maxBatch = 65536
+	// drainTimeout bounds how long a closing connection's writer may
+	// spend flushing its remaining queued lines.
+	drainTimeout = 2 * time.Second
 )
 
 // Server serves one engine over TCP.
 type Server struct {
 	eng *core.Engine
+	cfg Config
 	ln  net.Listener
 
 	mu     sync.Mutex
 	closed bool
-	conns  map[net.Conn]bool
+	conns  map[*conn]struct{}
 	wg     sync.WaitGroup
+
+	nextConn atomic.Uint64
 }
 
-// Start listens on addr ("127.0.0.1:0" picks a free port).
+// Start listens on addr ("127.0.0.1:0" picks a free port) with default
+// configuration.
 func Start(eng *core.Engine, addr string) (*Server, error) {
+	return StartConfig(eng, addr, Config{})
+}
+
+// StartConfig is Start with explicit tuning.
+func StartConfig(eng *core.Engine, addr string, cfg Config) (*Server, error) {
+	if cfg.SubBuffer <= 0 {
+		cfg.SubBuffer = defaultSubBuffer
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen: %w", err)
 	}
-	s := &Server{eng: eng, ln: ln, conns: make(map[net.Conn]bool)}
+	s := &Server{eng: eng, cfg: cfg, ln: ln, conns: make(map[*conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -54,8 +136,16 @@ func Start(eng *core.Engine, addr string) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes live client connections, and waits for
-// handlers to finish.
+// ConnCount reports the number of live client connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Close stops accepting, then closes live client connections and waits
+// for every handler and writer goroutine to finish, so callers can
+// safely tear down the engine afterwards without leaking goroutines.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -63,47 +153,244 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	for conn := range s.conns {
-		conn.Close()
+	s.mu.Unlock()
+	// Stop accepting first: no new connection can slip in after the
+	// drain below.
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close() // wakes the connection's reader, which tears down
 	}
 	s.mu.Unlock()
-	err := s.ln.Close()
 	s.wg.Wait()
 	return err
 }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := 5 * time.Millisecond
 	for {
-		conn, err := s.ln.Accept()
+		nc, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			// Transient failures (e.g. EMFILE during a connection
+			// flood) must not kill accepting for the server's lifetime;
+			// back off and retry until Close actually closes the
+			// listener.
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.eng.Metrics.Counter("server.accept_errors").Inc()
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
 		}
+		backoff = 5 * time.Millisecond
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			nc.Close()
 			return
 		}
-		s.conns[conn] = true
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.eng.Metrics.Counter("server.refused").Inc()
+			fmt.Fprintf(nc, "ERR connection limit reached\n")
+			nc.Close()
+			continue
+		}
+		c := &conn{
+			srv:        s,
+			id:         s.nextConn.Add(1),
+			nc:         nc,
+			out:        make(chan string, s.cfg.SubBuffer),
+			stop:       make(chan struct{}),
+			writerDone: make(chan struct{}),
+			subs:       make(map[string]string),
+			cqs:        make(map[string]*wireCQ),
+		}
+		s.conns[c] = struct{}{}
 		s.mu.Unlock()
-		s.wg.Add(1)
+		s.eng.Metrics.Counter("server.accepted").Inc()
+		s.wg.Add(2)
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			c.writeLoop()
+		}()
+		go func() {
+			defer s.wg.Done()
+			c.readLoop()
 		}()
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+// conn is one client connection: a reader goroutine parsing commands
+// and a writer goroutine draining the bounded outbound queue.
+type conn struct {
+	srv        *Server
+	id         uint64
+	nc         net.Conn
+	out        chan string
+	stop       chan struct{} // closed at teardown; unblocks producers
+	writerDone chan struct{} // closed when the writer goroutine exits
+
+	sent    atomic.Uint64 // lines actually written
+	dropped atomic.Uint64 // EVT pushes lost to DropOnFull
+
+	mu   sync.Mutex
+	subs map[string]string  // local id → broker id
+	cqs  map[string]*wireCQ // local id → attached continuous query
+}
+
+// wireCQ is a continuous query attached over the wire. Engine handlers
+// may run concurrently (shard goroutines), and cq.CQ is not safe for
+// concurrent use, so feeds serialize on mu.
+type wireCQ struct {
+	mu       sync.Mutex
+	q        *cq.CQ
+	brokerID string
+}
+
+// brokerID namespaces a connection-local subscription id so concurrent
+// connections cannot collide in the shared broker.
+func (c *conn) brokerID(localID string) string {
+	return fmt.Sprintf("wire.%d.%s", c.id, localID)
+}
+
+// reply queues a command reply. Replies are never dropped: they are
+// bounded by request rate, and the protocol's request/reply ordering
+// depends on every one arriving.
+func (c *conn) reply(line string) {
+	select {
+	case c.out <- line:
+	case <-c.stop:
+	}
+}
+
+// push queues an asynchronous EVT line under the configured overflow
+// policy.
+func (c *conn) push(line string) {
+	if c.srv.cfg.Overflow == DropOnFull {
+		select {
+		case c.out <- line:
+		default:
+			c.dropped.Add(1)
+			c.srv.eng.Metrics.Counter("server.push.dropped").Inc()
+		}
+		return
+	}
+	select {
+	case c.out <- line:
+	case <-c.stop:
+	}
+}
+
+// pushEvent renders and queues one pushed event for a subscription or
+// continuous query. The event is marshaled per matching subscription:
+// events are shared immutable values with no JSON cache, and attaching
+// one would go stale under Event.WithAttr's shallow copies, so the
+// fan-out trades redundant encoding for safety.
+func (c *conn) pushEvent(localID string, ev *event.Event) {
+	data, err := event.MarshalJSONEvent(ev)
+	if err != nil {
+		c.srv.eng.Metrics.Counter("server.push.encode_errors").Inc()
+		return
+	}
+	c.push("EVT " + localID + " " + string(data))
+}
+
+// writeLoop drains the outbound queue to the socket. On a write error
+// it closes the socket (forcing the reader to tear down) and keeps
+// consuming so blocked producers are released until stop closes.
+func (c *conn) writeLoop() {
+	defer close(c.writerDone)
+	w := bufio.NewWriterSize(c.nc, 1<<16)
+	failed := false
+	write := func(line string) {
+		if failed {
+			return
+		}
+		if _, err := w.WriteString(line + "\n"); err != nil {
+			failed = true
+			c.nc.Close()
+			return
+		}
+		c.sent.Add(1)
+	}
+	for {
+		select {
+		case line := <-c.out:
+			write(line)
+			// Drain whatever else is immediately available before one
+			// flush, so bursts pay the syscall once.
+		drain:
+			for {
+				select {
+				case line := <-c.out:
+					write(line)
+				default:
+					break drain
+				}
+			}
+			if !failed {
+				if err := w.Flush(); err != nil {
+					failed = true
+					c.nc.Close()
+				}
+			}
+		case <-c.stop:
+			// Final best-effort drain, then exit.
+			for {
+				select {
+				case line := <-c.out:
+					write(line)
+				default:
+					if !failed {
+						w.Flush()
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop parses commands until the connection errors or QUITs, then
+// tears the connection down: detach broker subscriptions first (no new
+// pushes start), release producers and the writer, close the socket,
+// deregister.
+func (c *conn) readLoop() {
 	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
+		c.mu.Lock()
+		brokerIDs := make([]string, 0, len(c.subs)+len(c.cqs))
+		for _, bid := range c.subs {
+			brokerIDs = append(brokerIDs, bid)
+		}
+		for _, wq := range c.cqs {
+			brokerIDs = append(brokerIDs, wq.brokerID)
+		}
+		c.subs = map[string]string{}
+		c.cqs = map[string]*wireCQ{}
+		c.mu.Unlock()
+		for _, bid := range brokerIDs {
+			c.srv.eng.Broker.Unsubscribe(bid)
+		}
+		close(c.stop)
+		// Give the writer a bounded window to flush queued replies (the
+		// deadline also breaks a write blocked on a consumer that went
+		// away without reading), then close the socket.
+		c.nc.SetWriteDeadline(time.Now().Add(drainTimeout))
+		<-c.writerDone
+		c.nc.Close()
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		c.srv.mu.Unlock()
 	}()
-	r := bufio.NewReaderSize(conn, 1<<16)
-	w := bufio.NewWriter(conn)
+	r := bufio.NewReaderSize(c.nc, 1<<16)
 	for {
 		line, err := r.ReadString('\n')
 		if err != nil {
@@ -113,126 +400,218 @@ func (s *Server) handle(conn net.Conn) {
 		cmd, rest, _ := strings.Cut(line, " ")
 		switch strings.ToUpper(cmd) {
 		case "PING":
-			fmt.Fprintln(w, "PONG")
+			c.reply("PONG")
 		case "QUIT":
-			w.Flush()
 			return
 		case "PUB":
-			ev, err := event.UnmarshalJSONEvent([]byte(rest))
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
+			c.handlePub(rest)
+		case "PUBB":
+			if !c.handlePubBatch(r, rest) {
+				return
 			}
-			before := s.eng.Metrics.Counter("events.delivered").Value()
-			if err := s.eng.Ingest(ev); err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			delivered := s.eng.Metrics.Counter("events.delivered").Value() - before
-			fmt.Fprintf(w, "OK %d\n", delivered)
 		case "MATCH":
-			ev, err := event.UnmarshalJSONEvent([]byte(rest))
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			ids, err := s.eng.Broker.MatchOnly(ev)
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			fmt.Fprintf(w, "OK %s\n", strings.Join(ids, ","))
+			c.handleMatch(rest)
+		case "SUB":
+			c.handleSub(rest)
+		case "CQ":
+			c.handleCQ(rest)
+		case "UNSUB":
+			c.handleUnsub(rest)
+		case "STATS":
+			c.handleStats()
 		default:
-			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
-		}
-		if err := w.Flush(); err != nil {
-			return
+			c.reply(fmt.Sprintf("ERR unknown command %q", cmd))
 		}
 	}
 }
 
-// Client is a minimal connection to a Server.
-type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	mu   sync.Mutex
-}
-
-// Dial connects to a server address.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+func (c *conn) handlePub(rest string) {
+	ev, err := event.UnmarshalJSONEvent([]byte(rest))
 	if err != nil {
-		return nil, fmt.Errorf("server: dial: %w", err)
+		c.reply("ERR " + err.Error())
+		return
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	// Exact per-event delivery count on a synchronous engine; 0 on an
+	// async engine, where evaluation happens after the reply.
+	delivered, err := c.srv.eng.IngestCount(ev)
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	c.reply(fmt.Sprintf("OK %d", delivered))
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// handlePubBatch reads the n event lines of a PUBB and ingests them as
+// one batch through the engine's sharded pipeline. All n lines are
+// consumed even on error, keeping the protocol in sync; it returns
+// false only when the connection itself failed.
+func (c *conn) handlePubBatch(r *bufio.Reader, rest string) bool {
+	n, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil {
+		// Unreadable count: the following lines can't be framed, so the
+		// connection must drop rather than misread events as commands.
+		c.reply(fmt.Sprintf("ERR bad batch size %q", rest))
+		return false
+	}
+	if n <= 0 || n > maxBatch {
+		// The count is known, so stay in sync by consuming the batch.
+		for i := 0; i < n; i++ {
+			if _, err := r.ReadString('\n'); err != nil {
+				return false
+			}
+		}
+		c.reply(fmt.Sprintf("ERR batch size %d out of range (want 1..%d)", n, maxBatch))
+		return true
+	}
+	evs := make([]*event.Event, 0, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return false
+		}
+		ev, err := event.UnmarshalJSONEvent([]byte(strings.TrimRight(line, "\r\n")))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("event %d: %w", i, err)
+			}
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	if firstErr != nil {
+		c.reply("ERR " + firstErr.Error())
+		return true
+	}
+	if err := c.srv.eng.IngestBatch(evs); err != nil {
+		c.reply("ERR " + err.Error())
+		return true
+	}
+	c.reply(fmt.Sprintf("OK %d", len(evs)))
+	return true
+}
 
-func (c *Client) roundTrip(line string) (string, error) {
+func (c *conn) handleMatch(rest string) {
+	ev, err := event.UnmarshalJSONEvent([]byte(rest))
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	ids, err := c.srv.eng.Broker.MatchOnly(ev)
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	c.reply("OK " + strings.Join(ids, ","))
+}
+
+func (c *conn) handleSub(rest string) {
+	localID, filter, _ := strings.Cut(rest, " ")
+	if localID == "" {
+		c.reply("ERR SUB needs an id")
+		return
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.w.WriteString(line + "\n"); err != nil {
-		return "", err
+	_, dupSub := c.subs[localID]
+	_, dupCQ := c.cqs[localID]
+	c.mu.Unlock()
+	if dupSub || dupCQ {
+		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
+		return
 	}
-	if err := c.w.Flush(); err != nil {
-		return "", err
-	}
-	resp, err := c.r.ReadString('\n')
+	bid := c.brokerID(localID)
+	err := c.srv.eng.Broker.Subscribe(bid, fmt.Sprintf("conn%d", c.id), filter,
+		func(d pubsub.Delivery) { c.pushEvent(localID, d.Event) })
 	if err != nil {
-		return "", err
+		c.reply("ERR " + err.Error())
+		return
 	}
-	resp = strings.TrimRight(resp, "\r\n")
-	if strings.HasPrefix(resp, "ERR ") {
-		return "", errors.New(resp[4:])
-	}
-	return resp, nil
+	c.mu.Lock()
+	c.subs[localID] = bid
+	c.mu.Unlock()
+	c.reply("OK")
 }
 
-// Ping round-trips a liveness check.
-func (c *Client) Ping() error {
-	resp, err := c.roundTrip("PING")
+func (c *conn) handleCQ(rest string) {
+	localID, spec, _ := strings.Cut(rest, " ")
+	if localID == "" || strings.TrimSpace(spec) == "" {
+		c.reply("ERR CQ needs an id and a JSON spec")
+		return
+	}
+	c.mu.Lock()
+	_, dupSub := c.subs[localID]
+	_, dupCQ := c.cqs[localID]
+	c.mu.Unlock()
+	if dupSub || dupCQ {
+		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
+		return
+	}
+	def, err := cq.ParseSpec(localID, []byte(spec))
 	if err != nil {
-		return err
+		c.reply("ERR " + err.Error())
+		return
 	}
-	if resp != "PONG" {
-		return fmt.Errorf("server: unexpected ping reply %q", resp)
+	q, err := cq.New(def)
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
 	}
-	return nil
+	wq := &wireCQ{q: q, brokerID: c.brokerID(localID)}
+	// The broker pre-filters with the CQ's own predicate, so the
+	// indexed subscription match does the heavy lifting and the CQ
+	// maintains windows only over relevant events.
+	err = c.srv.eng.Broker.Subscribe(wq.brokerID, fmt.Sprintf("conn%d", c.id), def.Filter,
+		func(d pubsub.Delivery) {
+			// The lock covers the pushes too: on a sharded engine two
+			// workers can feed this CQ back to back, and releasing
+			// between Feed and push would let a newer aggregate be
+			// enqueued before an older one, leaving the client with a
+			// stale "latest" result.
+			wq.mu.Lock()
+			defer wq.mu.Unlock()
+			outs, err := wq.q.Feed(d.Event)
+			if err != nil {
+				c.srv.eng.Metrics.Counter("server.cq.errors").Inc()
+				return
+			}
+			for _, out := range outs {
+				c.pushEvent(localID, out)
+			}
+		})
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	c.mu.Lock()
+	c.cqs[localID] = wq
+	c.mu.Unlock()
+	c.reply("OK")
 }
 
-// Publish sends an event for full evaluation, returning deliveries made.
-func (c *Client) Publish(ev *event.Event) (int, error) {
-	data, err := event.MarshalJSONEvent(ev)
-	if err != nil {
-		return 0, err
+func (c *conn) handleUnsub(rest string) {
+	localID := strings.TrimSpace(rest)
+	c.mu.Lock()
+	bid, isSub := c.subs[localID]
+	wq, isCQ := c.cqs[localID]
+	delete(c.subs, localID)
+	delete(c.cqs, localID)
+	c.mu.Unlock()
+	switch {
+	case isSub:
+		c.srv.eng.Broker.Unsubscribe(bid)
+	case isCQ:
+		c.srv.eng.Broker.Unsubscribe(wq.brokerID)
+	default:
+		c.reply(fmt.Sprintf("ERR no subscription %q", localID))
+		return
 	}
-	resp, err := c.roundTrip("PUB " + string(data))
-	if err != nil {
-		return 0, err
-	}
-	n, err := strconv.Atoi(strings.TrimPrefix(resp, "OK "))
-	if err != nil {
-		return 0, fmt.Errorf("server: bad reply %q", resp)
-	}
-	return n, nil
+	c.reply("OK")
 }
 
-// Match asks which subscriptions would receive the event.
-func (c *Client) Match(ev *event.Event) ([]string, error) {
-	data, err := event.MarshalJSONEvent(ev)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.roundTrip("MATCH " + string(data))
-	if err != nil {
-		return nil, err
-	}
-	body := strings.TrimPrefix(resp, "OK ")
-	if body == "" {
-		return nil, nil
-	}
-	return strings.Split(body, ","), nil
+func (c *conn) handleStats() {
+	c.mu.Lock()
+	subs, cqs := len(c.subs), len(c.cqs)
+	c.mu.Unlock()
+	c.reply(fmt.Sprintf("OK sent=%d dropped=%d queued=%d subs=%d cqs=%d",
+		c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs))
 }

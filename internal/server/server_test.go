@@ -1,44 +1,78 @@
 package server
 
 import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"eventdb/client"
 	"eventdb/internal/core"
 	"eventdb/internal/event"
 	"eventdb/internal/pubsub"
 )
 
-func startServer(t *testing.T) (*core.Engine, *Server, *Client) {
+func startServer(t *testing.T, engCfg core.Config, srvCfg Config) (*core.Engine, *Server) {
 	t.Helper()
-	eng, err := core.Open(core.Config{})
+	eng, err := core.Open(engCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	srv, err := Start(eng, "127.0.0.1:0")
+	srv, err := StartConfig(eng, "127.0.0.1:0", srvCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	c, err := Dial(srv.Addr())
+	return eng, srv
+}
+
+func dial(t *testing.T, srv *Server) *client.Conn {
+	t.Helper()
+	c, err := client.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Close() })
-	return eng, srv, c
+	return c
+}
+
+// recv waits for one pushed event with a timeout.
+func recv(t *testing.T, sub *client.Subscription) *client.Event {
+	t.Helper()
+	select {
+	case ev, ok := <-sub.C:
+		if !ok {
+			t.Fatal("subscription channel closed")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for pushed event")
+	}
+	return nil
 }
 
 func TestPing(t *testing.T) {
-	_, _, c := startServer(t)
+	_, srv := startServer(t, core.Config{}, Config{})
+	c := dial(t, srv)
 	if err := c.Ping(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPublishOverWire(t *testing.T) {
-	eng, _, c := startServer(t)
-	var delivered int
-	eng.Subscribe("s", "ops", "sev >= 2", func(pubsub.Delivery) { delivered++ })
+	eng, srv := startServer(t, core.Config{}, Config{})
+	c := dial(t, srv)
+	var mu sync.Mutex
+	delivered := 0
+	eng.Subscribe("s", "ops", "sev >= 2", func(pubsub.Delivery) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
 
 	n, err := c.Publish(event.New("alarm", map[string]any{"sev": 3}))
 	if err != nil || n != 1 {
@@ -48,6 +82,8 @@ func TestPublishOverWire(t *testing.T) {
 	if err != nil || n != 0 {
 		t.Fatalf("filtered publish: n=%d err=%v", n, err)
 	}
+	mu.Lock()
+	defer mu.Unlock()
 	if delivered != 1 {
 		t.Errorf("delivered = %d", delivered)
 	}
@@ -57,9 +93,10 @@ func TestPublishOverWire(t *testing.T) {
 }
 
 func TestMatchOverWire(t *testing.T) {
-	eng, _, c := startServer(t)
+	eng, srv := startServer(t, core.Config{}, Config{})
+	c := dial(t, srv)
 	eng.Subscribe("hot", "ops", "temp > 30", func(pubsub.Delivery) {
-		t.Fatal("MATCH must not deliver")
+		t.Error("MATCH must not deliver")
 	})
 	ids, err := c.Match(event.New("reading", map[string]any{"temp": 40}))
 	if err != nil || len(ids) != 1 || ids[0] != "hot" {
@@ -71,13 +108,167 @@ func TestMatchOverWire(t *testing.T) {
 	}
 }
 
-func TestProtocolErrors(t *testing.T) {
-	_, _, c := startServer(t)
-	if _, err := c.roundTrip("PUB {not json"); err == nil {
-		t.Error("bad JSON accepted")
+// TestStreamingPush is the protocol's point: a subscriber on one
+// connection receives events published on a different connection.
+func TestStreamingPush(t *testing.T) {
+	_, srv := startServer(t, core.Config{}, Config{})
+	subConn := dial(t, srv)
+	pubConn := dial(t, srv)
+
+	sub, err := subConn.Subscribe("hot", "temp > 30", 16)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := c.roundTrip("BOGUS"); err == nil {
-		t.Error("unknown command accepted")
+	if _, err := pubConn.Publish(event.New("reading", map[string]any{"temp": 17})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pubConn.Publish(event.New("reading", map[string]any{"temp": 35, "site": "a"})); err != nil {
+		t.Fatal(err)
+	}
+	ev := recv(t, sub)
+	if v, _ := ev.Get("temp"); v.String() != "35" {
+		t.Errorf("pushed event = %v", ev)
+	}
+	if v, _ := ev.Get("site"); v.String() != `"a"` && v.String() != "a" {
+		t.Errorf("pushed attrs lost: %v", ev)
+	}
+	select {
+	case ev := <-sub.C:
+		t.Errorf("unexpected extra push %v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPublishBatchOverWire(t *testing.T) {
+	eng, srv := startServer(t, core.Config{Shards: 2, ShardBuffer: 128}, Config{})
+	c := dial(t, srv)
+	evs := make([]*client.Event, 100)
+	for i := range evs {
+		evs[i] = event.New(fmt.Sprintf("t%d", i%5), map[string]any{"i": i})
+	}
+	n, err := c.PublishBatch(evs)
+	if err != nil || n != 100 {
+		t.Fatalf("batch: n=%d err=%v", n, err)
+	}
+	eng.Flush()
+	if got := eng.Ingested(); got != 100 {
+		t.Errorf("ingested = %d", got)
+	}
+}
+
+func TestContinuousQueryOverWire(t *testing.T) {
+	_, srv := startServer(t, core.Config{}, Config{})
+	subConn := dial(t, srv)
+	pubConn := dial(t, srv)
+
+	sub, err := subConn.ContinuousQuery("vwap", client.CQSpec{
+		Filter:  "sym = 'ACME'",
+		GroupBy: []string{"sym"},
+		Aggs: []client.CQAgg{
+			{Alias: "n", Kind: client.Count},
+			{Alias: "avg_px", Kind: client.Avg, Attr: "price"},
+		},
+		Window: client.CQWindow{Kind: client.CountWindow, Size: 10},
+	}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-matching event produces no update.
+	pubConn.Publish(event.New("trade", map[string]any{"sym": "OTHER", "price": 1.0}))
+	for i, px := range []float64{10, 20} {
+		if _, err := pubConn.Publish(event.New("trade", map[string]any{"sym": "ACME", "price": px})); err != nil {
+			t.Fatal(err)
+		}
+		up := recv(t, sub)
+		if up.Type != "cq.vwap" {
+			t.Fatalf("update type = %q", up.Type)
+		}
+		if v, _ := up.Get("n"); v.String() != fmt.Sprint(i+1) {
+			t.Errorf("update %d: n = %v", i, v)
+		}
+	}
+	if v, _ := recvLast(sub); v != nil {
+		t.Errorf("unexpected extra update %v", v)
+	}
+}
+
+// recvLast drains any immediately available pushed event.
+func recvLast(sub *client.Subscription) (*client.Event, bool) {
+	select {
+	case ev := <-sub.C:
+		return ev, true
+	case <-time.After(50 * time.Millisecond):
+		return nil, false
+	}
+}
+
+func TestUnsubscribeStopsPushes(t *testing.T) {
+	_, srv := startServer(t, core.Config{}, Config{})
+	subConn := dial(t, srv)
+	pubConn := dial(t, srv)
+	sub, err := subConn.Subscribe("all", "", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubConn.Publish(event.New("e", map[string]any{"i": 1}))
+	recv(t, sub)
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pubConn.Publish(event.New("e", map[string]any{"i": 2})); err != nil {
+		t.Fatal(err)
+	}
+	// The server no longer pushes; a fresh subscription still works and
+	// sees only new events.
+	sub2, err := subConn.Subscribe("all", "", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubConn.Publish(event.New("e", map[string]any{"i": 3}))
+	ev := recv(t, sub2)
+	if v, _ := ev.Get("i"); v.String() != "3" {
+		t.Errorf("resubscribe saw %v", ev)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, srv := startServer(t, core.Config{}, Config{})
+	c := dial(t, srv)
+	if _, err := c.Subscribe("a", "", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ContinuousQuery("q", client.CQSpec{
+		Aggs:   []client.CQAgg{{Alias: "n", Kind: client.Count}},
+		Window: client.CQWindow{Kind: client.CountWindow, Size: 5},
+	}, 4); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subs != 1 || st.CQs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Sent < 2 { // at least the two OK replies
+		t.Errorf("sent = %d", st.Sent)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, srv := startServer(t, core.Config{}, Config{})
+	c := dial(t, srv)
+	if _, err := c.Subscribe("s", "not a ( valid filter", 4); err == nil {
+		t.Error("bad filter accepted")
+	}
+	if _, err := c.Subscribe("ok", "", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe("ok", "", 4); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if _, err := c.ContinuousQuery("cq1", client.CQSpec{}, 4); err == nil {
+		t.Error("empty CQ spec accepted")
 	}
 	// Connection still usable after errors.
 	if err := c.Ping(); err != nil {
@@ -85,31 +276,336 @@ func TestProtocolErrors(t *testing.T) {
 	}
 }
 
-func TestMultipleClients(t *testing.T) {
-	eng, srv, _ := startServer(t)
-	var count int
-	eng.Subscribe("all", "x", "", func(pubsub.Delivery) { count++ })
-	for i := 0; i < 3; i++ {
-		c, err := Dial(srv.Addr())
+func TestRawProtocolErrors(t *testing.T) {
+	_, srv := startServer(t, core.Config{}, Config{})
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	ask := func(req string) string {
+		t.Helper()
+		fmt.Fprintf(nc, "%s\n", req)
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%s: %v", req, err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
+	for req, wantPrefix := range map[string]string{
+		"PUB {not json": "ERR ",
+		"BOGUS":         "ERR unknown command",
+		"SUB":           "ERR SUB needs",
+		"UNSUB nope":    "ERR no subscription",
+		"CQ x":          "ERR CQ needs",
+		"PUBB 0":        "ERR batch size",
+		"PING":          "PONG",
+	} {
+		if got := ask(req); !strings.HasPrefix(got, wantPrefix) {
+			t.Errorf("%s → %q, want prefix %q", req, got, wantPrefix)
+		}
+	}
+	// An unparseable PUBB count must drop the connection (framing lost).
+	fmt.Fprintf(nc, "PUBB garbage\n")
+	if line, _ := br.ReadString('\n'); !strings.HasPrefix(line, "ERR bad batch size") {
+		t.Errorf("PUBB garbage → %q", line)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Error("connection survived framing loss")
+	}
+}
+
+func TestMaxConns(t *testing.T) {
+	_, srv := startServer(t, core.Config{}, Config{MaxConns: 2})
+	c1, c2 := dial(t, srv), dial(t, srv)
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err) // TCP accept succeeds; refusal arrives as a protocol error
+	}
+	defer c3.Close()
+	if err := c3.Ping(); err == nil || !strings.Contains(err.Error(), "connection limit") {
+		t.Errorf("over-limit ping err = %v", err)
+	}
+	// Freeing a slot admits a new connection.
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ConnCount() >= 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c4 := dial(t, srv)
+	if err := c4.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentFanout is the exact-delivery concurrency check: N
+// publisher connections × M subscriber connections, every subscriber
+// sees every event exactly once, ordered per connection, no drops.
+func TestConcurrentFanout(t *testing.T) {
+	const (
+		publishers   = 4
+		subscribers  = 3
+		perPublisher = 200
+	)
+	total := publishers * perPublisher
+	_, srv := startServer(t, core.Config{}, Config{SubBuffer: 64})
+
+	subs := make([]*client.Subscription, subscribers)
+	for i := range subs {
+		c := dial(t, srv)
+		s, err := c.Subscribe("fan", "kind = 'load'", total+8)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Publish(event.New("e", map[string]any{"i": i})); err != nil {
+		subs[i] = s
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perPublisher; i += 50 {
+				batch := make([]*client.Event, 50)
+				for j := range batch {
+					batch[j] = event.New("e", map[string]any{"kind": "load", "p": p, "i": i + j})
+				}
+				if _, err := c.PublishBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// All publishes evaluated synchronously before their replies, so a
+	// sentinel published now is the last matching event in every stream.
+	sentinelConn := dial(t, srv)
+	if _, err := sentinelConn.Publish(event.New("e", map[string]any{"kind": "load", "sentinel": true})); err != nil {
+		t.Fatal(err)
+	}
+	for si, sub := range subs {
+		got := 0
+		for {
+			ev := recv(t, sub)
+			if _, isSentinel := ev.Attrs["sentinel"]; isSentinel {
+				break
+			}
+			got++
+		}
+		if got != total {
+			t.Errorf("subscriber %d: received %d of %d", si, got, total)
+		}
+		if d := sub.Dropped(); d != 0 {
+			t.Errorf("subscriber %d: dropped %d client-side", si, d)
+		}
+	}
+}
+
+// TestSlowConsumerOverflow checks that one consumer that stops reading
+// cannot stall the engine under DropOnFull: its pushes are dropped,
+// counted, and exactly accounted for (received + dropped == published).
+func TestSlowConsumerOverflow(t *testing.T) {
+	eng, srv := startServer(t, core.Config{}, Config{SubBuffer: 8, Overflow: DropOnFull})
+
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	fmt.Fprintf(nc, "SUB slow\n")
+	if line, err := br.ReadString('\n'); err != nil || strings.TrimSpace(line) != "OK" {
+		t.Fatalf("SUB: %q %v", line, err)
+	}
+	// ...and now the subscriber stops reading.
+
+	const total = 8000
+	payload := strings.Repeat("x", 1024) // outgrow kernel socket buffers
+	pub := dial(t, srv)
+	for i := 0; i < total; i += 500 {
+		batch := make([]*client.Event, 500)
+		for j := range batch {
+			batch[j] = event.New("e", map[string]any{"i": i + j, "pad": payload})
+		}
+		if _, err := pub.PublishBatch(batch); err != nil {
 			t.Fatal(err)
 		}
-		c.Close()
 	}
-	if count != 3 {
-		t.Errorf("count = %d", count)
+	// Synchronous engine: every push was queued or dropped before the
+	// last PublishBatch reply, so the counters are final.
+	if d := eng.Metrics.Counter("server.push.dropped").Value(); d == 0 {
+		t.Fatal("no pushes dropped; overflow never engaged (grow total?)")
+	}
+
+	// Drain the backlog; the STATS reply is ordered after it.
+	fmt.Fprintf(nc, "STATS\n")
+	nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	received := 0
+	var stats string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("drain: %v (received %d)", err, received)
+		}
+		if strings.HasPrefix(line, "EVT slow ") {
+			received++
+			continue
+		}
+		stats = strings.TrimSpace(line)
+		break
+	}
+	var sent, dropped, queued, subs, cqs uint64
+	if _, err := fmt.Sscanf(stats, "OK sent=%d dropped=%d queued=%d subs=%d cqs=%d",
+		&sent, &dropped, &queued, &subs, &cqs); err != nil {
+		t.Fatalf("stats %q: %v", stats, err)
+	}
+	if dropped == 0 {
+		t.Error("STATS reports no drops")
+	}
+	if received+int(dropped) != total {
+		t.Errorf("received %d + dropped %d != published %d", received, dropped, total)
+	}
+}
+
+// TestCloseDrainsConnections: Close must stop accepting, release
+// blocked pushes, wait for every handler, and leave client channels
+// closed — even while publishers and a non-reading subscriber are live.
+func TestCloseDrainsConnections(t *testing.T) {
+	eng, err := core.Open(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv, err := StartConfig(eng, "127.0.0.1:0", Config{SubBuffer: 1}) // BlockOnFull
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A subscriber that never reads: pushes to it will block publishers.
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	fmt.Fprintf(nc, "SUB stuck\n")
+	if line, err := br.ReadString('\n'); err != nil || strings.TrimSpace(line) != "OK" {
+		t.Fatalf("SUB: %q %v", line, err)
+	}
+
+	// A healthy subscriber via the client library.
+	healthy := dial(t, srv)
+	hsub, err := healthy.Subscribe("h", "", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Publishers flood until the stuck connection's queue wedges them.
+	payload := strings.Repeat("y", 2048)
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 5000; i++ {
+				if _, err := c.Publish(event.New("e", map[string]any{"i": i, "pad": payload})); err != nil {
+					return // connection torn down by Close — expected
+				}
+			}
+		}()
+	}
+
+	time.Sleep(100 * time.Millisecond) // let the flood wedge on the stuck conn
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return: a blocked push or handler leaked")
+	}
+	wg.Wait()
+	if srv.ConnCount() != 0 {
+		t.Errorf("conns alive after Close: %d", srv.ConnCount())
+	}
+
+	// The healthy client observes the shutdown as a closed channel.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-hsub.C:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscription channel never closed after server Close")
+		}
 	}
 }
 
 func TestServerCloseIdempotent(t *testing.T) {
-	_, srv, _ := startServer(t)
+	_, srv := startServer(t, core.Config{}, Config{})
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardedEnginePush: pushes work when handlers run on shard
+// goroutines (the async pipeline), exercising concurrent pushEvent.
+func TestShardedEnginePush(t *testing.T) {
+	eng, srv := startServer(t, core.Config{Shards: 4, ShardBuffer: 256}, Config{})
+	subConn := dial(t, srv)
+	sub, err := subConn.Subscribe("all", "", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := dial(t, srv)
+	const total = 1000
+	evs := make([]*client.Event, total)
+	for i := range evs {
+		evs[i] = event.New(fmt.Sprintf("t%d", i%16), map[string]any{"i": i})
+	}
+	if _, err := pub.PublishBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+	got := 0
+	timeout := time.After(10 * time.Second)
+	for got < total {
+		select {
+		case _, ok := <-sub.C:
+			if !ok {
+				t.Fatalf("channel closed at %d", got)
+			}
+			got++
+		case <-timeout:
+			t.Fatalf("received %d of %d", got, total)
+		}
 	}
 }
