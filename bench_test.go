@@ -1,4 +1,4 @@
-// Experiment benchmarks E1–E14. Each benchmark regenerates one row or
+// Experiment benchmarks E1–E15. Each benchmark regenerates one row or
 // series of the experiment tables in EXPERIMENTS.md; cmd/edabench runs
 // curated sweeps of the same code and prints the tables.
 //
@@ -9,6 +9,7 @@ package eventdb
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -839,4 +840,183 @@ func BenchmarkE14ContinuousQueryWire(b *testing.B) {
 			b.Fatal("subscription closed")
 		}
 	}
+}
+
+// --- E15: ephemeral vs durable wire delivery ---------------------------
+
+// e15Stack boots a served engine for durable-delivery benchmarks.
+func e15Stack(b *testing.B, dir string) (*core.Engine, *server.Server) {
+	b.Helper()
+	eng, err := core.Open(core.Config{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return eng, srv
+}
+
+func e15Publisher(b *testing.B, srv *server.Server) *client.Conn {
+	b.Helper()
+	pub, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pub.Close() })
+	return pub
+}
+
+// e15Drain receives n deliveries, tolerating client-side drops (a
+// dropped auto-ack or historical delivery never comes back, so waiting
+// for it would hang the benchmark).
+func e15Drain(b *testing.B, ds *client.DurableSub, n int) {
+	b.Helper()
+	received := 0
+	for received < n {
+		select {
+		case _, ok := <-ds.C:
+			if !ok {
+				b.Error("delivery channel closed")
+				return
+			}
+			received++
+		case <-time.After(100 * time.Millisecond):
+			if received+int(ds.Dropped()) >= n {
+				return
+			}
+		}
+	}
+}
+
+// e15Publish streams n events in PUBB batches.
+func e15Publish(b *testing.B, pub *client.Conn, n int) {
+	b.Helper()
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
+	batch := make([]*client.Event, 64)
+	for i := range batch {
+		batch[i] = ev
+	}
+	for sent := 0; sent < n; {
+		want := n - sent
+		if want > len(batch) {
+			want = len(batch)
+		}
+		if _, err := pub.PublishBatch(batch[:want]); err != nil {
+			b.Fatal(err)
+		}
+		sent += want
+	}
+}
+
+// BenchmarkE15DurableAutoAck measures the durable delivery path end to
+// end with server-side acknowledgment: publish → broker match → staged
+// INSERT into the queue table → WaitDequeue consumer → QEVT push →
+// server ack. The per-event gap to BenchmarkE14StreamingPush is the
+// price of recoverable delivery (the paper's staging-area trade,
+// §2.2.b).
+func BenchmarkE15DurableAutoAck(b *testing.B) {
+	_, srv := e15Stack(b, "")
+	sub, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	ds, err := sub.DurableSubscribe("bench", "", client.DurableOptions{AutoAck: true, Buffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := e15Publisher(b, srv)
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e15Drain(b, ds, b.N)
+	}()
+	e15Publish(b, pub, b.N)
+	<-done
+}
+
+// BenchmarkE15DurableManualAck is the full at-least-once contract:
+// every delivery is individually acknowledged over the wire. Acks run
+// on 8 goroutines so round trips overlap, as a real consumer would.
+func BenchmarkE15DurableManualAck(b *testing.B) {
+	_, srv := e15Stack(b, "")
+	sub, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	ds, err := sub.DurableSubscribe("bench", "", client.DurableOptions{Buffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := e15Publisher(b, srv)
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		acks := make(chan client.Delivery, 256)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for d := range acks {
+					if err := d.Ack(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < b.N; i++ {
+			d, ok := <-ds.C
+			if !ok {
+				b.Error("delivery channel closed")
+				break
+			}
+			acks <- d
+		}
+		close(acks)
+		wg.Wait()
+	}()
+	e15Publish(b, pub, b.N)
+	<-done
+}
+
+// BenchmarkE15ReplayBackfill measures journal-backfill throughput:
+// b.N staged-and-consumed messages are resurrected from the WAL and
+// streamed back over the wire.
+func BenchmarkE15ReplayBackfill(b *testing.B) {
+	_, srv := e15Stack(b, b.TempDir())
+	sub, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	ds, err := sub.DurableSubscribe("bench", "", client.DurableOptions{AutoAck: true, Buffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := e15Publisher(b, srv)
+	e15Publish(b, pub, b.N)
+	e15Drain(b, ds, b.N)
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e15Drain(b, ds, b.N)
+	}()
+	n, _, err := ds.Replay(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("replayed %d, want %d", n, b.N)
+	}
+	<-done
 }

@@ -18,6 +18,14 @@
 //	}()
 //	c.Publish(client.NewEvent("reading", map[string]any{"temp": 35}))
 //
+// Subscribe is ephemeral: a dropped connection loses whatever was in
+// flight. DurableSubscribe instead stages matched events in a named,
+// server-side durable queue and delivers them with receipts
+// (Delivery.Ack / Delivery.Nack) — at-least-once, resumable by
+// re-attaching to the same name after a reconnect or server restart,
+// with Replay backfilling history from the server's journal. Consume
+// is its polling counterpart and QueueStats its introspection.
+//
 // One goroutine owns the socket's read side and demultiplexes; any
 // number of goroutines may issue requests concurrently. If a pushed
 // event arrives for a subscription whose channel is full, the event is
@@ -84,10 +92,12 @@ type Conn struct {
 	w       *bufio.Writer    // guarded by sendMu
 	pending chan chan string // FIFO of reply waiters
 
-	mu     sync.Mutex // guards subs, closed, err, and channel closes
-	subs   map[string]*Subscription
-	closed bool
-	err    error
+	mu        sync.Mutex // guards subs/durables/consumers, closed, err, and channel closes
+	subs      map[string]*Subscription
+	durables  map[string]*DurableSub
+	consumers map[string]chan Delivery // active Consume collectors
+	closed    bool
+	err       error
 
 	done chan struct{} // closed when the connection dies
 }
@@ -99,11 +109,13 @@ func Dial(addr string) (*Conn, error) {
 		return nil, fmt.Errorf("client: dial: %w", err)
 	}
 	c := &Conn{
-		nc:      nc,
-		w:       bufio.NewWriterSize(nc, 1<<16),
-		pending: make(chan chan string, 128),
-		subs:    make(map[string]*Subscription),
-		done:    make(chan struct{}),
+		nc:        nc,
+		w:         bufio.NewWriterSize(nc, 1<<16),
+		pending:   make(chan chan string, 128),
+		subs:      make(map[string]*Subscription),
+		durables:  make(map[string]*DurableSub),
+		consumers: make(map[string]chan Delivery),
+		done:      make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -140,6 +152,10 @@ func (c *Conn) fail(cause error) {
 		close(s.ch)
 	}
 	c.subs = map[string]*Subscription{}
+	for _, s := range c.durables {
+		close(s.ch)
+	}
+	c.durables = map[string]*DurableSub{}
 	c.mu.Unlock()
 	close(c.done) // wakes reply waiters
 	c.nc.Close()
@@ -171,6 +187,32 @@ func (c *Conn) readLoop() {
 					s.dropped.Add(1)
 				}
 			}
+			c.mu.Unlock()
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "QEVT "); ok {
+			// QEVT <queue> <receipt> <attempt> <json-event>
+			name, rest, _ := strings.Cut(rest, " ")
+			token, rest, _ := strings.Cut(rest, " ")
+			attemptStr, body, _ := strings.Cut(rest, " ")
+			attempt, err := strconv.Atoi(attemptStr)
+			if err != nil {
+				continue
+			}
+			ev, err := event.UnmarshalJSONEvent([]byte(body))
+			if err != nil {
+				continue
+			}
+			d := Delivery{Event: ev, Attempt: attempt, queue: name, token: token, c: c}
+			if lsnStr, ok := strings.CutPrefix(token, "h"); ok {
+				// Historical replay delivery: carries a journal
+				// position instead of an ackable receipt.
+				if lsn, err := strconv.ParseUint(lsnStr, 10, 64); err == nil {
+					d.Historical, d.LSN, d.token = true, lsn, "-"
+				}
+			}
+			c.mu.Lock()
+			c.routeDelivery(name, d)
 			c.mu.Unlock()
 			continue
 		}
@@ -381,7 +423,9 @@ func (c *Conn) register(id string, buffer int, send func() error) (*Subscription
 		c.mu.Unlock()
 		return nil, c.err
 	}
-	if _, dup := c.subs[id]; dup {
+	_, dupSub := c.subs[id]
+	_, dupDur := c.durables[id]
+	if dupSub || dupDur {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("client: subscription %q already exists", id)
 	}
@@ -439,9 +483,9 @@ type Stats struct {
 	Dropped uint64
 	// Queued is the current depth of the server-side outbound queue.
 	Queued int
-	// Subs and CQs count this connection's active subscriptions and
-	// continuous queries.
-	Subs, CQs int
+	// Subs, CQs and QSubs count this connection's active
+	// subscriptions, continuous queries and durable consumers.
+	Subs, CQs, QSubs int
 }
 
 // Stats fetches the server-side counters for this connection.
@@ -471,6 +515,8 @@ func (c *Conn) Stats() (Stats, error) {
 			st.Subs = int(n)
 		case "cqs":
 			st.CQs = int(n)
+		case "qsubs":
+			st.QSubs = int(n)
 		}
 	}
 	return st, nil

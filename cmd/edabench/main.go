@@ -1,5 +1,5 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E14 from DESIGN.md, each checking a claim
+// one table per experiment E1–E15 from DESIGN.md, each checking a claim
 // of the tutorial. Run with -quick for smaller sweeps; -shards and
 // -batch pin the E13 pipeline sweep to one configuration; -subs sets
 // the E14 wire-subscriber count and -net points E14's streaming half
@@ -59,6 +59,7 @@ func main() {
 	e12()
 	e13()
 	e14()
+	e15()
 }
 
 // rate times n iterations of f and returns ops/sec and ns/op.
@@ -774,4 +775,168 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// e15Stack boots a served engine for the E15 delivery-mode sweep.
+func e15Stack(dir string) (*core.Engine, *server.Server) {
+	eng, err := core.Open(core.Config{Dir: dir})
+	must(err)
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+	must(err)
+	return eng, srv
+}
+
+// e15Feed publishes N copies of one trade in PUBB batches.
+func e15Feed(addr string, total, batch int) {
+	pub, err := client.Dial(addr)
+	must(err)
+	defer pub.Close()
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
+	evs := make([]*client.Event, batch)
+	for i := range evs {
+		evs[i] = ev
+	}
+	for sent := 0; sent < total; {
+		want := total - sent
+		if want > len(evs) {
+			want = len(evs)
+		}
+		_, err := pub.PublishBatch(evs[:want])
+		must(err)
+		sent += want
+	}
+}
+
+// e15DrainDeliveries receives total durable deliveries, tolerating
+// client-side drops (which cannot return within the sweep's horizon).
+func e15DrainDeliveries(ds *client.DurableSub, total int, each func(client.Delivery)) {
+	received := 0
+	for received < total {
+		select {
+		case d, ok := <-ds.C:
+			if !ok {
+				must(errors.New("delivery channel closed"))
+			}
+			if each != nil {
+				each(d)
+			}
+			received++
+		case <-time.After(200 * time.Millisecond):
+			if received+int(ds.Dropped()) >= total {
+				return
+			}
+		}
+	}
+}
+
+func e15() {
+	header("E15", "ephemeral vs durable wire delivery: the price of recoverability (§2.2.b)")
+	N := n(50000, 5000)
+	batch := *batchArg
+	if batch <= 0 {
+		batch = 256
+	}
+	fmt.Println("| delivery mode | events/sec end-to-end | loss on disconnect |")
+	fmt.Println("|---|---|---|")
+
+	// Ephemeral push: fire-and-forget EVT lines, nothing staged.
+	{
+		eng, srv := e15Stack("")
+		sub, err := client.Dial(srv.Addr())
+		must(err)
+		s, err := sub.Subscribe("all", "", N+1024)
+		must(err)
+		start := time.Now()
+		go e15Feed(srv.Addr(), N, batch)
+		for i := 0; i < N; i++ {
+			if _, ok := <-s.C; !ok {
+				must(errors.New("subscription closed"))
+			}
+		}
+		secs := time.Since(start).Seconds()
+		sub.Close()
+		srv.Close()
+		eng.Close()
+		fmt.Printf("| ephemeral SUB push | %.0f | in-flight + while away |\n", float64(N)/secs)
+	}
+
+	// Durable delivery: every event is staged as a queue-table INSERT
+	// before a consumer goroutine pushes it with a receipt.
+	for _, mode := range []struct {
+		name    string
+		autoAck bool
+	}{
+		{"durable QSUB auto-ack", true},
+		{"durable QSUB manual-ack (8 ackers)", false},
+	} {
+		eng, srv := e15Stack("")
+		sub, err := client.Dial(srv.Addr())
+		must(err)
+		ds, err := sub.DurableSubscribe("bench", "", client.DurableOptions{AutoAck: mode.autoAck, Buffer: N + 1024})
+		must(err)
+		acks := make(chan client.Delivery, 256)
+		var wg sync.WaitGroup
+		if !mode.autoAck {
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for d := range acks {
+						must(d.Ack())
+					}
+				}()
+			}
+		}
+		start := time.Now()
+		go e15Feed(srv.Addr(), N, batch)
+		e15DrainDeliveries(ds, N, func(d client.Delivery) {
+			if !mode.autoAck {
+				acks <- d
+			}
+		})
+		close(acks)
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		loss := "none (at-least-once)"
+		if mode.autoAck {
+			loss = "pushed-but-unread only"
+		}
+		sub.Close()
+		srv.Close()
+		eng.Close()
+		fmt.Printf("| %s | %.0f | %s |\n", mode.name, float64(N)/secs, loss)
+	}
+
+	// Journal backfill: resurrect the already-consumed history from
+	// the WAL and stream it over the wire.
+	{
+		dir, err := os.MkdirTemp("", "edabench-e15-*")
+		must(err)
+		defer os.RemoveAll(dir)
+		eng, srv := e15Stack(dir)
+		sub, err := client.Dial(srv.Addr())
+		must(err)
+		ds, err := sub.DurableSubscribe("bench", "", client.DurableOptions{AutoAck: true, Buffer: N + 1024})
+		must(err)
+		go e15Feed(srv.Addr(), N, batch)
+		e15DrainDeliveries(ds, N, nil)
+		start := time.Now()
+		var drained sync.WaitGroup
+		drained.Add(1)
+		go func() {
+			defer drained.Done()
+			e15DrainDeliveries(ds, N, nil)
+		}()
+		replayed, _, err := ds.Replay(0)
+		must(err)
+		drained.Wait()
+		secs := time.Since(start).Seconds()
+		if replayed != N {
+			must(fmt.Errorf("replayed %d of %d", replayed, N))
+		}
+		sub.Close()
+		srv.Close()
+		eng.Close()
+		fmt.Printf("| REPLAY journal backfill | %.0f | n/a (history) |\n", float64(N)/secs)
+	}
 }

@@ -4,6 +4,7 @@
 //
 //	eventdbd [-addr host:port] [-dir path] [-shards n] [-shard-buffer n]
 //	         [-drop-on-full] [-max-conns n] [-sub-buffer n]
+//	         [-visibility d] [-queue-max-attempts n] [-queue-prefetch n]
 //	         [-rule name=condition]...
 //
 // Foreign systems speak the streaming line protocol documented in
@@ -12,6 +13,15 @@
 // queries (CQ) whose matches are pushed back as EVT lines — rules,
 // subscriptions and windows all evaluate inside the database process
 // (the paper's "internal evaluation" path).
+//
+// Durable subscriptions (QSUB/CONSUME/ACK/NACK/QSTATS/REPLAY) stage
+// matches in named queues backed by database tables. With -dir set
+// they are fully durable: queue contents, in-flight deliveries, and
+// the filter bindings themselves (persisted in the wire_subs table)
+// all survive a server restart, so a bound queue keeps accumulating
+// matches while its consumer is away and REPLAY can backfill history
+// from the WAL. -visibility and -queue-max-attempts tune redelivery;
+// -queue-prefetch caps unacknowledged deliveries per consumer.
 //
 // With -shards N, published events enter the asynchronous sharded
 // ingest pipeline instead of evaluating on the connection handler's
@@ -32,9 +42,11 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"eventdb"
 	"eventdb/internal/core"
+	"eventdb/internal/queue"
 	"eventdb/internal/server"
 )
 
@@ -56,6 +68,9 @@ func main() {
 	dropOnFull := flag.Bool("drop-on-full", false, "drop instead of blocking when a shard buffer or connection push queue is full")
 	maxConns := flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
 	subBuffer := flag.Int("sub-buffer", 256, "per-connection outbound push queue capacity in lines")
+	visibility := flag.Duration("visibility", 30*time.Second, "durable queue visibility timeout before unacked deliveries retry")
+	queueMaxAttempts := flag.Int("queue-max-attempts", 5, "durable queue delivery attempts before dead-lettering")
+	queuePrefetch := flag.Int("queue-prefetch", 256, "unacknowledged deliveries allowed per durable consumer")
 	var ruleDefs ruleFlags
 	flag.Var(&ruleDefs, "rule", "rule as name=condition (repeatable); matches are logged")
 	flag.Parse()
@@ -64,11 +79,23 @@ func main() {
 	if *dropOnFull {
 		cfg.Backpressure = core.DropOnFull
 	}
+	qcfg := queue.Config{VisibilityTimeout: *visibility, MaxAttempts: *queueMaxAttempts}
 	eng, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
+	if *dir != "" {
+		// Durable wire subscriptions: QSUB filter bindings persist in
+		// the wire_subs table and rebind their queues on restart, so a
+		// bound queue keeps accumulating matches before its consumer
+		// reconnects. Ephemeral SUB/CQ registrations stay out of the
+		// store — their handlers die with their connections.
+		eng.Broker.PersistOnlyQueueSubs(true)
+		if err := eng.Broker.AttachStore(eng.DB, "wire_subs", eng.Queues, qcfg, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *shards > 0 {
 		log.Printf("ingest pipeline: %d shards, buffer %d, policy %s",
 			eng.Shards(), *shardBuffer, cfg.Backpressure)
@@ -88,7 +115,12 @@ func main() {
 		log.Printf("rule %s: %s", name, cond)
 	}
 
-	srvCfg := server.Config{MaxConns: *maxConns, SubBuffer: *subBuffer}
+	srvCfg := server.Config{
+		MaxConns:      *maxConns,
+		SubBuffer:     *subBuffer,
+		Queue:         qcfg,
+		QueuePrefetch: *queuePrefetch,
+	}
 	if *dropOnFull {
 		srvCfg.Overflow = server.DropOnFull
 	}

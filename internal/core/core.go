@@ -444,6 +444,52 @@ func (e *Engine) CreateQueue(name string, cfg queue.Config) (*queue.Queue, error
 	return e.Queues.Create(name, cfg)
 }
 
+// EnsureQueue returns the named staging queue, attaching to its
+// recovered backing table or creating it as needed — the idempotent
+// entry point for durable consumers that must work the same on first
+// contact, after a reconnect, and after an engine restart.
+func (e *Engine) EnsureQueue(name string, cfg queue.Config) (*queue.Queue, error) {
+	if q, ok := e.Queues.Get(name); ok {
+		return q, nil
+	}
+	if q, err := e.Queues.Open(name, cfg); err == nil {
+		return q, nil
+	}
+	q, err := e.Queues.Create(name, cfg)
+	if err != nil {
+		// Lost a create race: the table exists now, so attach to it.
+		if q2, err2 := e.Queues.Open(name, cfg); err2 == nil {
+			return q2, nil
+		}
+		return nil, err
+	}
+	return q, nil
+}
+
+// ReplayQueue mines the WAL journal for messages staged into a queue
+// and decodes each back into its original event — including messages
+// long since acknowledged and deleted, because the redo log remembers
+// every INSERT. This is the paper's hybrid historical+live consumption
+// (§2.2.a.ii): a durable subscriber backfills from a log position,
+// then goes live on the queue. Returns the next LSN to resume from and
+// how many messages were replayed. Requires a durable engine
+// (journal.ErrNotDurable otherwise).
+func (e *Engine) ReplayQueue(name string, fromLSN uint64, fn func(ev *event.Event, lsn uint64, msgID int64) error) (nextLSN uint64, replayed int, err error) {
+	f := journal.Filter{
+		Tables: []string{queue.TableName(name)},
+		Ops:    []storage.ChangeKind{storage.Insert},
+	}
+	nextLSN, err = e.Miner.MineChanges(fromLSN, f, func(lsn uint64, c *storage.Change) error {
+		id, ev, err := queue.DecodeStagedInsert(c)
+		if err != nil {
+			return err
+		}
+		replayed++
+		return fn(ev, lsn, id)
+	})
+	return nextLSN, replayed, err
+}
+
 // SubscribeQueue routes matching events into a staging queue.
 func (e *Engine) SubscribeQueue(subID, subscriber, filter, queueName string, priority int) error {
 	q, ok := e.Queues.Get(queueName)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -246,5 +247,135 @@ func TestMetricsExposed(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("metrics = %v", e.Metrics.Snapshot())
+	}
+}
+
+func TestEnsureQueueIdempotentAndRecovering(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.EnsureQueue("orders", queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := eng.EnsureQueue("orders", queue.Config{})
+	if err != nil || q2 != q {
+		t.Fatalf("second EnsureQueue: %v (same=%v)", err, q2 == q)
+	}
+	if _, err := q.Enqueue(event.New("o", map[string]any{"n": 1}), queue.EnqueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	// After a restart the backing table is recovered; EnsureQueue
+	// attaches instead of failing on create.
+	eng2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	q3, err := eng2.EnsureQueue("orders", queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok, err := q3.Dequeue("c"); err != nil || !ok {
+		t.Fatalf("recovered dequeue: %v %v", ok, err)
+	} else if err := q3.Ack(msg.Receipt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayQueueBackfillsFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.EnsureQueue("orders", queue.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SubscribeQueue("qsub.orders", "wire", "price > 100", "orders", 0); err != nil {
+		t.Fatal(err)
+	}
+	const published = 10
+	wantStaged := 0
+	for i := 0; i < published; i++ {
+		price := float64(i * 30)
+		if price > 100 {
+			wantStaged++
+		}
+		if err := eng.Ingest(event.New("trade", map[string]any{"sym": "A", "price": price})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consume and ack everything: the queue table is empty, but the
+	// journal still remembers every staged message.
+	q, _ := eng.Queues.Get("orders")
+	for {
+		msg, ok, err := q.Dequeue("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if err := q.Ack(msg.Receipt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var replayed []*event.Event
+	var lastLSN uint64
+	next, n, err := eng.ReplayQueue("orders", 0, func(ev *event.Event, lsn uint64, msgID int64) error {
+		if lsn < lastLSN {
+			t.Errorf("replay out of order: lsn %d after %d", lsn, lastLSN)
+		}
+		lastLSN = lsn
+		if msgID == 0 {
+			t.Error("replay with msgID 0")
+		}
+		replayed = append(replayed, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantStaged || len(replayed) != wantStaged {
+		t.Fatalf("replayed %d (%d events), want %d", n, len(replayed), wantStaged)
+	}
+	for _, ev := range replayed {
+		v, _ := ev.Get("price")
+		f, _ := v.AsFloat()
+		if f <= 100 {
+			t.Errorf("replayed event with price %v never matched the binding", f)
+		}
+		if ev.Type != "trade" {
+			t.Errorf("replayed type = %q, want the original event back", ev.Type)
+		}
+	}
+	if next <= lastLSN {
+		t.Errorf("next LSN %d not past last replayed %d", next, lastLSN)
+	}
+	// Resuming from next replays nothing new.
+	_, n2, err := eng.ReplayQueue("orders", next, func(*event.Event, uint64, int64) error { return nil })
+	if err != nil || n2 != 0 {
+		t.Errorf("resume replayed %d, err %v", n2, err)
+	}
+}
+
+func TestReplayQueueNotDurable(t *testing.T) {
+	eng := open(t, Config{})
+	if _, err := eng.EnsureQueue("q", queue.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := eng.ReplayQueue("q", 0, func(*event.Event, uint64, int64) error { return nil })
+	if err == nil {
+		t.Fatal("replay on a volatile engine succeeded")
+	}
+	if !errors.Is(err, journal.ErrNotDurable) {
+		t.Errorf("err = %v, want ErrNotDurable", err)
 	}
 }

@@ -77,6 +77,24 @@ var ErrNotDurable = errors.New("journal: database has no WAL to mine")
 // invoking fn for each matching change event. It returns the next LSN to
 // resume from.
 func (m *Miner) Mine(fromLSN uint64, f Filter, fn func(*event.Event) error) (nextLSN uint64, err error) {
+	return m.MineChanges(fromLSN, f, func(lsn uint64, c *storage.Change) error {
+		tbl, ok := m.db.Table(c.Table)
+		if !ok {
+			return nil // table dropped or filtered during recovery
+		}
+		ev := trigger.ChangeToEvent(tbl.Schema(), c, "journal")
+		ev.Attrs["lsn"] = eventLSN(lsn)
+		return fn(ev)
+	})
+}
+
+// MineChanges is Mine at change granularity: matching committed changes
+// are handed to fn raw, without conversion to events, so callers that
+// know the table's shape (e.g. queue-payload backfill) can decode row
+// values directly instead of going through attribute maps. Changes to
+// tables that no longer exist are still delivered — the WAL remembers
+// them even if the schema registry does not.
+func (m *Miner) MineChanges(fromLSN uint64, f Filter, fn func(lsn uint64, c *storage.Change) error) (nextLSN uint64, err error) {
 	log := m.db.WAL()
 	if log == nil {
 		return 0, ErrNotDurable
@@ -85,44 +103,25 @@ func (m *Miner) Mine(fromLSN uint64, f Filter, fn func(*event.Event) error) (nex
 	nextLSN = fromLSN
 	err = log.Replay(fromLSN, func(r wal.Record) error {
 		nextLSN = r.LSN + 1
-		evs, err := m.recordToEvents(r, pass)
+		changes, ok, err := storage.DecodeCommitRecord(r)
 		if err != nil {
-			return err
+			return fmt.Errorf("journal: lsn %d: %w", r.LSN, err)
 		}
-		for _, ev := range evs {
-			if err := fn(ev); err != nil {
+		if !ok {
+			return nil // DDL or foreign record
+		}
+		for i := range changes {
+			c := &changes[i]
+			if !pass(c) {
+				continue
+			}
+			if err := fn(r.LSN, c); err != nil {
 				return err
 			}
 		}
 		return nil
 	})
 	return nextLSN, err
-}
-
-// recordToEvents decodes one WAL record into change events.
-func (m *Miner) recordToEvents(r wal.Record, pass func(*storage.Change) bool) ([]*event.Event, error) {
-	changes, ok, err := storage.DecodeCommitRecord(r)
-	if err != nil {
-		return nil, fmt.Errorf("journal: lsn %d: %w", r.LSN, err)
-	}
-	if !ok {
-		return nil, nil // DDL or foreign record
-	}
-	var out []*event.Event
-	for i := range changes {
-		c := &changes[i]
-		if !pass(c) {
-			continue
-		}
-		tbl, ok := m.db.Table(c.Table)
-		if !ok {
-			continue // table dropped or filtered during recovery
-		}
-		ev := trigger.ChangeToEvent(tbl.Schema(), c, "journal")
-		ev.Attrs["lsn"] = eventLSN(r.LSN)
-		out = append(out, ev)
-	}
-	return out, nil
 }
 
 // Subscription is a live change feed.

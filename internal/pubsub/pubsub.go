@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"eventdb/internal/event"
+	"eventdb/internal/expr"
 	"eventdb/internal/queue"
 	"eventdb/internal/rules"
 	"eventdb/internal/storage"
@@ -40,6 +41,9 @@ type Broker struct {
 
 	store      *storage.DB
 	storeTable string
+	// persistQueueOnly restricts AttachStore persistence to queue-backed
+	// subscriptions (see PersistOnlyQueueSubs).
+	persistQueueOnly bool
 }
 
 type subscription struct {
@@ -66,6 +70,29 @@ func NewBrokerNaive() *Broker {
 		engine: rules.NewEngine(rules.Options{Indexed: false}),
 		subs:   make(map[string]*subscription),
 	}
+}
+
+// PersistOnlyQueueSubs limits AttachStore persistence to queue-backed
+// subscriptions. Callback subscriptions are process-bound — their
+// handlers are function values that cannot outlive the process — so a
+// server registering short-lived wire subscriptions alongside durable
+// queue bindings sets this to keep the store from accumulating rows
+// that could only ever reload as no-op handlers.
+func (b *Broker) PersistOnlyQueueSubs(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.persistQueueOnly = on
+}
+
+// FilterOf reports the filter of an active subscription.
+func (b *Broker) FilterOf(id string) (filter string, ok bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s, ok := b.subs[id]
+	if !ok {
+		return "", false
+	}
+	return s.filter, true
 }
 
 // Len returns the number of active subscriptions.
@@ -111,7 +138,7 @@ func (b *Broker) subscribe(s *subscription) error {
 		return err
 	}
 	b.subs[s.id] = s
-	if b.store != nil {
+	if b.store != nil && (s.queue != nil || !b.persistQueueOnly) {
 		if err := b.persist(s); err != nil {
 			// Roll back the in-memory registration.
 			b.engine.Remove(s.id)
@@ -119,6 +146,58 @@ func (b *Broker) subscribe(s *subscription) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// Rebind atomically replaces a subscription's filter under the broker
+// lock: the subscription is never absent from the index between the
+// old and new filter, and a filter that fails to compile or persist
+// leaves the existing binding untouched in both memory and store — an
+// error means the rebind did not happen, everywhere.
+func (b *Broker) Rebind(id, filter string) error {
+	cond := filter
+	if cond == "" {
+		cond = "true"
+	}
+	// Validate before touching anything.
+	if _, err := expr.Compile(cond); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.subs[id]
+	if !ok {
+		return fmt.Errorf("pubsub: no subscription %q", id)
+	}
+	if s.filter == filter {
+		return nil
+	}
+	// Persist first: if the store write fails, live matching has not
+	// changed, so memory and store agree (on the old filter). The
+	// reverse order would leave a rebind that silently undoes itself
+	// at the next restart.
+	if b.store != nil && (s.queue != nil || !b.persistQueueOnly) {
+		tbl, _ := b.store.Table(b.storeTable)
+		if _, rid, ok := tbl.GetByPK(val.String(id)); ok {
+			if err := b.store.UpdateRow(b.storeTable, rid, map[string]val.Value{
+				"filter": val.String(filter),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	b.engine.Remove(id)
+	if _, err := b.engine.Add(id, cond, 0, nil); err != nil {
+		// Unreachable after the compile check above; restore the old
+		// rule defensively rather than leave the binding missing.
+		oldCond := s.filter
+		if oldCond == "" {
+			oldCond = "true"
+		}
+		b.engine.Add(id, oldCond, 0, nil)
+		return err
+	}
+	s.filter = filter
 	return nil
 }
 
@@ -224,9 +303,9 @@ func SubsTableSchema(table string) (*storage.Schema, error) {
 
 // AttachStore persists subscriptions in a database table (expressions as
 // data) and reloads existing rows: queue subscriptions rebind through
-// qm; callback rows rebind through handlers (by subscriber name),
-// falling back to a drop handler when absent.
-func (b *Broker) AttachStore(db *storage.DB, table string, qm *queue.Manager, handlers map[string]Handler) error {
+// qm (reopened queues take qcfg); callback rows rebind through handlers
+// (by subscriber name), falling back to a drop handler when absent.
+func (b *Broker) AttachStore(db *storage.DB, table string, qm *queue.Manager, qcfg queue.Config, handlers map[string]Handler) error {
 	if _, ok := db.Table(table); !ok {
 		schema, err := SubsTableSchema(table)
 		if err != nil {
@@ -254,7 +333,7 @@ func (b *Broker) AttachStore(db *storage.DB, table string, qm *queue.Manager, ha
 			q, ok := qm.Get(qname)
 			if !ok {
 				var err error
-				q, err = qm.Open(qname, queue.Config{})
+				q, err = qm.Open(qname, qcfg)
 				if err != nil {
 					loadErr = fmt.Errorf("pubsub: subscription %q: %w", id, err)
 					return false

@@ -176,7 +176,7 @@ func TestStorePersistsAndReloads(t *testing.T) {
 	qm := queue.NewManager(db)
 	q, _ := qm.Create("alerts", queue.Config{})
 	b := NewBroker()
-	if err := b.AttachStore(db, "subs", qm, nil); err != nil {
+	if err := b.AttachStore(db, "subs", qm, queue.Config{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	var count int
@@ -195,7 +195,7 @@ func TestStorePersistsAndReloads(t *testing.T) {
 	var count2 int
 	b2 := NewBroker()
 	handlers := map[string]Handler{"bob": func(Delivery) { count2++ }}
-	if err := b2.AttachStore(db2, "subs", qm2, handlers); err != nil {
+	if err := b2.AttachStore(db2, "subs", qm2, queue.Config{}, handlers); err != nil {
 		t.Fatal(err)
 	}
 	if b2.Len() != 2 {
@@ -254,5 +254,121 @@ func TestPublisherMatchesPublish(t *testing.T) {
 		if n != want {
 			t.Errorf("publisher delivered %d, Publish delivered %d", n, want)
 		}
+	}
+}
+
+func TestFilterOf(t *testing.T) {
+	b := NewBroker()
+	if _, ok := b.FilterOf("nope"); ok {
+		t.Error("FilterOf found a missing subscription")
+	}
+	b.Subscribe("s1", "x", "price > 5", func(Delivery) {})
+	if f, ok := b.FilterOf("s1"); !ok || f != "price > 5" {
+		t.Errorf("FilterOf = %q, %v", f, ok)
+	}
+	b.Unsubscribe("s1")
+	if _, ok := b.FilterOf("s1"); ok {
+		t.Error("FilterOf found an unsubscribed subscription")
+	}
+}
+
+func TestPersistOnlyQueueSubs(t *testing.T) {
+	dir := t.TempDir()
+	db, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := queue.NewManager(db)
+	q, _ := qm.Create("alerts", queue.Config{})
+	b := NewBroker()
+	b.PersistOnlyQueueSubs(true)
+	if err := b.AttachStore(db, "subs", qm, queue.Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A connection-bound callback subscription must not be persisted; a
+	// durable queue binding must.
+	b.Subscribe("wire.1.hot", "conn1", "price > 5", func(Delivery) {})
+	b.SubscribeQueue("qsub.orders", "wire", "price > 100", q, 0)
+	// Unsubscribing the unpersisted one must not error on the store.
+	if err := b.Unsubscribe("wire.1.hot"); err != nil {
+		t.Fatal(err)
+	}
+	qm.Close()
+	db.Close()
+
+	db2, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	qm2 := queue.NewManager(db2)
+	defer qm2.Close()
+	b2 := NewBroker()
+	if err := b2.AttachStore(db2, "subs", qm2, queue.Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != 1 {
+		t.Fatalf("reloaded %d subscriptions, want only the queue binding", b2.Len())
+	}
+	if f, ok := b2.FilterOf("qsub.orders"); !ok || f != "price > 100" {
+		t.Errorf("reloaded binding filter = %q, %v", f, ok)
+	}
+}
+
+func TestRebindAtomicFilterReplace(t *testing.T) {
+	dir := t.TempDir()
+	db, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := queue.NewManager(db)
+	q, _ := qm.Create("alerts", queue.Config{})
+	b := NewBroker()
+	if err := b.AttachStore(db, "subs", qm, queue.Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SubscribeQueue("qd", "ops", "price > 100", q, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A broken filter must leave the existing binding fully intact.
+	if err := b.Rebind("qd", "price >>> nope"); err == nil {
+		t.Fatal("rebind with a broken filter succeeded")
+	}
+	if f, _ := b.FilterOf("qd"); f != "price > 100" {
+		t.Fatalf("filter after failed rebind = %q", f)
+	}
+	if n, err := b.Publish(trade("A", 150)); err != nil || n != 1 {
+		t.Fatalf("publish after failed rebind: n=%d err=%v", n, err)
+	}
+	// A valid rebind switches matching and persists.
+	if err := b.Rebind("qd", "price > 1000"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := b.Publish(trade("A", 150)); n != 0 {
+		t.Fatalf("old filter still matching after rebind: n=%d", n)
+	}
+	if n, _ := b.Publish(trade("A", 1500)); n != 1 {
+		t.Fatal("new filter not matching after rebind")
+	}
+	if err := b.Rebind("nope", "x > 1"); err == nil {
+		t.Fatal("rebind of a missing subscription succeeded")
+	}
+	qm.Close()
+	db.Close()
+
+	// The persisted row carries the new filter across restart.
+	db2, err := storage.Open(storage.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	qm2 := queue.NewManager(db2)
+	defer qm2.Close()
+	b2 := NewBroker()
+	if err := b2.AttachStore(db2, "subs", qm2, queue.Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := b2.FilterOf("qd"); !ok || f != "price > 1000" {
+		t.Fatalf("reloaded filter = %q, %v; want the rebound filter", f, ok)
 	}
 }

@@ -379,6 +379,29 @@ func (q *Queue) Dequeue(consumer string) (*Msg, bool, error) {
 // ErrStaleReceipt guards acks from superseded deliveries.
 var ErrStaleReceipt = errors.New("queue: stale receipt (message was redelivered)")
 
+// ReceiptCurrent reports whether a receipt still refers to its
+// message's live delivery attempt — i.e. whether an Ack with it would
+// still succeed. A receipt goes stale when the message is settled,
+// redelivered, or reaped after its visibility timeout. Lets delivery
+// ledgers evict receipts whose acknowledgments can never arrive; pair
+// with Reap so deadline-expired deliveries actually go stale even
+// while no consumer is dequeuing.
+func (q *Queue) ReceiptCurrent(r Receipt) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	info, ok := q.inflight[r.ID]
+	return ok && info.attempt == r.attempt
+}
+
+// Reap immediately requeues (or dead-letters) inflight messages whose
+// visibility timeout has passed. Dequeue does this on every call, so
+// active consumers never need Reap; it exists for idle ones — e.g. a
+// delivery loop parked on a flow-control limit, which must expire the
+// deliveries it is waiting on to ever unpark.
+func (q *Queue) Reap() {
+	q.reapExpired(timeNow().UnixNano())
+}
+
 // Ack acknowledges a delivery, deleting the message.
 func (q *Queue) Ack(r Receipt) error {
 	q.mu.Lock()
@@ -429,6 +452,41 @@ func (q *Queue) Nack(r Receipt, delay time.Duration) error {
 	pri, _ := row[1].AsInt()
 	q.mu.Lock()
 	q.push(readyItem{id: r.ID, pri: pri, visibleAt: visibleAt})
+	q.mu.Unlock()
+	q.wake()
+	return nil
+}
+
+// Release returns an unacknowledged delivery to the queue immediately
+// and does not count the delivery against MaxAttempts (attempts is
+// rolled back by one). It is the teardown path for consumers that
+// vanish — a dropped wire connection, a shutting-down worker — where
+// the delivery was never a processing failure: the message becomes
+// visible to other consumers right away instead of waiting out the
+// visibility timeout, and repeated reconnects cannot dead-letter it.
+func (q *Queue) Release(r Receipt) error {
+	q.mu.Lock()
+	info, ok := q.inflight[r.ID]
+	if !ok || info.attempt != r.attempt {
+		q.mu.Unlock()
+		return ErrStaleReceipt
+	}
+	rid := q.rowIDs[r.ID]
+	delete(q.inflight, r.ID)
+	attempt := info.attempt
+	q.mu.Unlock()
+	err := q.db.UpdateRow(TableName(q.name), rid, map[string]val.Value{
+		"state":      val.String(stateReady),
+		"visible_at": val.Int(0),
+		"attempts":   val.Int(attempt - 1),
+	})
+	if err != nil {
+		return err
+	}
+	row, _ := q.table.Get(rid)
+	pri, _ := row[1].AsInt()
+	q.mu.Lock()
+	q.push(readyItem{id: r.ID, pri: pri})
 	q.mu.Unlock()
 	q.wake()
 	return nil
@@ -588,9 +646,10 @@ func (q *Queue) DeadLetters() ([]int64, []*event.Event, error) {
 	return ids, evs, decodeErr
 }
 
-// Redrive returns a dead-lettered message to the queue with a fresh
-// attempt budget.
-func (q *Queue) Redrive(id int64) error {
+// Requeue returns a dead-lettered message to service: state and
+// attempts are reset in one transaction and the message becomes
+// immediately deliverable with a fresh attempt budget.
+func (q *Queue) Requeue(id int64) error {
 	q.mu.Lock()
 	rid, ok := q.rowIDs[id]
 	q.mu.Unlock()
@@ -616,4 +675,76 @@ func (q *Queue) Redrive(id int64) error {
 	q.mu.Unlock()
 	q.wake()
 	return nil
+}
+
+// Redrive is the historical name for Requeue.
+func (q *Queue) Redrive(id int64) error { return q.Requeue(id) }
+
+// RequeueDeadLetters returns every dead-lettered message to service in
+// a single transaction (all of them become deliverable, or none do on
+// error) and reports how many were requeued.
+func (q *Queue) RequeueDeadLetters() (int, error) {
+	type dead struct {
+		id, pri int64
+		rid     storage.RowID
+	}
+	var deads []dead
+	q.table.Scan(func(rid storage.RowID, r storage.Row) bool {
+		if state, _ := r[4].AsString(); state != stateDead {
+			return true
+		}
+		id, _ := r[0].AsInt()
+		pri, _ := r[1].AsInt()
+		deads = append(deads, dead{id: id, pri: pri, rid: rid})
+		return true
+	})
+	if len(deads) == 0 {
+		return 0, nil
+	}
+	txn := q.db.Begin()
+	for _, d := range deads {
+		err := txn.Update(TableName(q.name), d.rid, map[string]val.Value{
+			"state": val.String(stateReady), "visible_at": val.Int(0), "attempts": val.Int(0),
+		})
+		if err != nil {
+			txn.Rollback()
+			return 0, err
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		return 0, err
+	}
+	q.mu.Lock()
+	for _, d := range deads {
+		q.push(readyItem{id: d.id, pri: d.pri})
+	}
+	q.mu.Unlock()
+	q.wake()
+	return len(deads), nil
+}
+
+// DecodeStagedInsert decodes a committed INSERT into a queue's backing
+// table back into the staged message's id and original event. It is
+// the journal-backfill path: mining the WAL for q_<name> inserts
+// replays every message ever staged into the queue — including ones
+// long since acknowledged and deleted — so a durable subscriber can
+// reconstruct history from a log position (the paper's hybrid
+// historical+live consumption).
+func DecodeStagedInsert(c *storage.Change) (id int64, ev *event.Event, err error) {
+	if c.Kind != storage.Insert || c.New == nil {
+		return 0, nil, errors.New("queue: change is not a staged insert")
+	}
+	if len(c.New) < 8 {
+		return 0, nil, fmt.Errorf("queue: staged row has %d columns, want 8", len(c.New))
+	}
+	id, _ = c.New[0].AsInt()
+	payload, ok := c.New[7].AsBytes()
+	if !ok {
+		return 0, nil, fmt.Errorf("queue: staged message %d has no payload", id)
+	}
+	ev, _, err = event.Decode(payload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("queue: corrupt staged payload for msg %d: %w", id, err)
+	}
+	return id, ev, nil
 }

@@ -16,14 +16,50 @@
 //	CQ <id> <json-spec> → "OK"; attaches a continuous query (see
 //	                      cq.ParseSpec) and pushes incremental results
 //	                      as "EVT <id> <json-event>"
-//	UNSUB <id>          → "OK"; detaches a subscription or CQ
-//	STATS               → "OK sent=N dropped=N queued=N subs=N cqs=N"
+//	UNSUB <id>          → "OK"; detaches any sink (subscription, CQ, or
+//	                      durable consumer) registered under the id
+//	STATS               → "OK sent=N dropped=N queued=N subs=N cqs=N qsubs=N"
 //	PING                → "PONG"
 //	QUIT                → closes the connection
 //
+// Durable subscriptions stage matched events in a named, WAL-recovered
+// queue (internal/queue) instead of pushing fire-and-forget, so a
+// consumer can drop, reconnect — even across a server restart — and
+// resume without loss:
+//
+//	QSUB <name> <auto|manual> <filter>
+//	                    → "OK"; binds the filter to durable queue <name>
+//	                      (created on first use, shared by reconnecting
+//	                      and competing consumers) and starts push-mode
+//	                      delivery: each message arrives as
+//	                      "QEVT <name> <receipt> <attempt> <json-event>".
+//	                      manual: at-least-once, the client must ACK or
+//	                      NACK each receipt. auto: the server acks on
+//	                      push (receipt "-"). A fresh QSUB (after UNSUB,
+//	                      a reconnect, or from another connection) with
+//	                      a new filter rebinds the queue; while a QSUB
+//	                      is live its connection cannot re-QSUB the
+//	                      same name.
+//	CONSUME <name> <max>
+//	                    → "OK <n>" then n QEVT lines: pull-mode dequeue
+//	                      of up to max ready messages (always manual-ack)
+//	ACK <name> <receipt>
+//	                    → "OK"; acknowledges one delivery
+//	NACK <name> <receipt> <delay-ms>
+//	                    → "OK"; returns a delivery for retry after the
+//	                      delay (dead-letters after MaxAttempts)
+//	QSTATS <name>       → "OK ready=N inflight=N dead=N outstanding=N"
+//	REPLAY <name> <from-lsn>
+//	                    → historical backfill: every message ever staged
+//	                      into the queue from that WAL position —
+//	                      including long-acked ones — is pushed as
+//	                      "QEVT <name> h<lsn> 0 <json-event>", then
+//	                      "OK <count> <next-lsn>". Requires a durable
+//	                      engine (-dir).
+//
 // Replies are single lines in request order; errors are "ERR <message>".
-// Pushed "EVT" lines interleave with replies at line granularity —
-// clients demultiplex on the "EVT " prefix.
+// Pushed "EVT"/"QEVT" lines interleave with replies at line
+// granularity — clients demultiplex on the line prefix.
 //
 // # Backpressure
 //
@@ -52,6 +88,7 @@ import (
 	"eventdb/internal/cq"
 	"eventdb/internal/event"
 	"eventdb/internal/pubsub"
+	"eventdb/internal/queue"
 )
 
 // Overflow selects what pushing to a connection with a full outbound
@@ -85,11 +122,24 @@ type Config struct {
 	// (default 256).
 	SubBuffer int
 	// Overflow picks the full-queue policy for pushed EVT lines.
+	// Durable QEVT lines always block: the staging queue is their
+	// backpressure, and at-least-once delivery tolerates no silent
+	// drops.
 	Overflow Overflow
+	// Queue tunes the durable queues QSUB creates (visibility timeout,
+	// max delivery attempts). Zero values take queue.Config defaults.
+	Queue queue.Config
+	// QueuePrefetch caps unacknowledged deliveries per manual-ack
+	// durable consumer; delivery pauses until the client acks (default
+	// 256).
+	QueuePrefetch int
 }
 
 const (
 	defaultSubBuffer = 256
+	// defaultQueuePrefetch bounds unacked deliveries per durable
+	// consumer.
+	defaultQueuePrefetch = 256
 	// maxBatch caps PUBB so a client cannot make the server buffer an
 	// unbounded batch.
 	maxBatch = 65536
@@ -108,6 +158,7 @@ type Server struct {
 	closed bool
 	conns  map[*conn]struct{}
 	wg     sync.WaitGroup
+	done   chan struct{} // closed by Close; wakes backoff waits
 
 	nextConn atomic.Uint64
 }
@@ -120,17 +171,32 @@ func Start(eng *core.Engine, addr string) (*Server, error) {
 
 // StartConfig is Start with explicit tuning.
 func StartConfig(eng *core.Engine, addr string, cfg Config) (*Server, error) {
-	if cfg.SubBuffer <= 0 {
-		cfg.SubBuffer = defaultSubBuffer
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen: %w", err)
 	}
-	s := &Server{eng: eng, cfg: cfg, ln: ln, conns: make(map[*conn]struct{})}
+	return serve(eng, ln, cfg), nil
+}
+
+// serve runs a server over an already-bound listener (separated from
+// StartConfig so tests can inject failing listeners).
+func serve(eng *core.Engine, ln net.Listener, cfg Config) *Server {
+	if cfg.SubBuffer <= 0 {
+		cfg.SubBuffer = defaultSubBuffer
+	}
+	if cfg.QueuePrefetch <= 0 {
+		cfg.QueuePrefetch = defaultQueuePrefetch
+	}
+	s := &Server{
+		eng:   eng,
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[*conn]struct{}),
+		done:  make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound address.
@@ -154,8 +220,9 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	// Stop accepting first: no new connection can slip in after the
-	// drain below.
+	// Wake the accept loop out of any error backoff, then stop
+	// accepting: no new connection can slip in after the drain below.
+	close(s.done)
 	err := s.ln.Close()
 	s.mu.Lock()
 	for c := range s.conns {
@@ -183,7 +250,15 @@ func (s *Server) acceptLoop() {
 				return
 			}
 			s.eng.Metrics.Counter("server.accept_errors").Inc()
-			time.Sleep(backoff)
+			// The backoff must not outlive Close: a plain sleep here
+			// would stall shutdown for up to a second.
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-s.done:
+				timer.Stop()
+				return
+			}
 			if backoff < time.Second {
 				backoff *= 2
 			}
@@ -210,8 +285,8 @@ func (s *Server) acceptLoop() {
 			out:        make(chan string, s.cfg.SubBuffer),
 			stop:       make(chan struct{}),
 			writerDone: make(chan struct{}),
-			subs:       make(map[string]string),
-			cqs:        make(map[string]*wireCQ),
+			sinks:      make(map[string]sink),
+			receipts:   make(map[string]map[string]trackedReceipt),
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
@@ -241,18 +316,11 @@ type conn struct {
 	sent    atomic.Uint64 // lines actually written
 	dropped atomic.Uint64 // EVT pushes lost to DropOnFull
 
-	mu   sync.Mutex
-	subs map[string]string  // local id → broker id
-	cqs  map[string]*wireCQ // local id → attached continuous query
-}
+	mu    sync.Mutex
+	sinks map[string]sink // local id → registered delivery sink
 
-// wireCQ is a continuous query attached over the wire. Engine handlers
-// may run concurrently (shard goroutines), and cq.CQ is not safe for
-// concurrent use, so feeds serialize on mu.
-type wireCQ struct {
-	mu       sync.Mutex
-	q        *cq.CQ
-	brokerID string
+	rmu      sync.Mutex
+	receipts map[string]map[string]trackedReceipt // queue → token → outstanding delivery
 }
 
 // brokerID namespaces a connection-local subscription id so concurrent
@@ -360,25 +428,24 @@ func (c *conn) writeLoop() {
 }
 
 // readLoop parses commands until the connection errors or QUITs, then
-// tears the connection down: detach broker subscriptions first (no new
-// pushes start), release producers and the writer, close the socket,
-// deregister.
+// tears the connection down: detach every sink first (broker
+// subscriptions stop pushing, durable consumers halt and hand back
+// their unacked deliveries), release producers and the writer, close
+// the socket, deregister.
 func (c *conn) readLoop() {
 	defer func() {
 		c.mu.Lock()
-		brokerIDs := make([]string, 0, len(c.subs)+len(c.cqs))
-		for _, bid := range c.subs {
-			brokerIDs = append(brokerIDs, bid)
+		sinks := make([]sink, 0, len(c.sinks))
+		for _, s := range c.sinks {
+			sinks = append(sinks, s)
 		}
-		for _, wq := range c.cqs {
-			brokerIDs = append(brokerIDs, wq.brokerID)
-		}
-		c.subs = map[string]string{}
-		c.cqs = map[string]*wireCQ{}
+		c.sinks = map[string]sink{}
 		c.mu.Unlock()
-		for _, bid := range brokerIDs {
-			c.srv.eng.Broker.Unsubscribe(bid)
+		for _, s := range sinks {
+			s.detach()
 		}
+		// Receipts left by CONSUME on queues no sink covered.
+		c.releaseAllReceipts()
 		close(c.stop)
 		// Give the writer a bounded window to flush queued replies (the
 		// deadline also breaks a write blocked on a consumer that went
@@ -415,6 +482,18 @@ func (c *conn) readLoop() {
 			c.handleSub(rest)
 		case "CQ":
 			c.handleCQ(rest)
+		case "QSUB":
+			c.handleQSub(rest)
+		case "CONSUME":
+			c.handleConsume(rest)
+		case "ACK":
+			c.handleAck(rest)
+		case "NACK":
+			c.handleNack(rest)
+		case "QSTATS":
+			c.handleQStats(rest)
+		case "REPLAY":
+			c.handleReplay(rest)
 		case "UNSUB":
 			c.handleUnsub(rest)
 		case "STATS":
@@ -505,17 +584,27 @@ func (c *conn) handleMatch(rest string) {
 	c.reply("OK " + strings.Join(ids, ","))
 }
 
+// addSink registers a sink under a connection-local id, refusing
+// duplicates. Only the reader goroutine adds sinks, so the check-and-
+// insert is race-free; the lock covers concurrent readers (STATS is
+// also reader-driven, but teardown swaps the map).
+func (c *conn) addSink(localID string, s sink) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.sinks[localID]; dup {
+		return false
+	}
+	c.sinks[localID] = s
+	return true
+}
+
 func (c *conn) handleSub(rest string) {
 	localID, filter, _ := strings.Cut(rest, " ")
 	if localID == "" {
 		c.reply("ERR SUB needs an id")
 		return
 	}
-	c.mu.Lock()
-	_, dupSub := c.subs[localID]
-	_, dupCQ := c.cqs[localID]
-	c.mu.Unlock()
-	if dupSub || dupCQ {
+	if c.hasSink(localID) {
 		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
 		return
 	}
@@ -526,10 +615,19 @@ func (c *conn) handleSub(rest string) {
 		c.reply("ERR " + err.Error())
 		return
 	}
-	c.mu.Lock()
-	c.subs[localID] = bid
-	c.mu.Unlock()
+	if !c.addSink(localID, &subSink{c: c, brokerID: bid}) {
+		c.srv.eng.Broker.Unsubscribe(bid)
+		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
+		return
+	}
 	c.reply("OK")
+}
+
+func (c *conn) hasSink(localID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.sinks[localID]
+	return ok
 }
 
 func (c *conn) handleCQ(rest string) {
@@ -538,11 +636,7 @@ func (c *conn) handleCQ(rest string) {
 		c.reply("ERR CQ needs an id and a JSON spec")
 		return
 	}
-	c.mu.Lock()
-	_, dupSub := c.subs[localID]
-	_, dupCQ := c.cqs[localID]
-	c.mu.Unlock()
-	if dupSub || dupCQ {
+	if c.hasSink(localID) {
 		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
 		return
 	}
@@ -556,7 +650,7 @@ func (c *conn) handleCQ(rest string) {
 		c.reply("ERR " + err.Error())
 		return
 	}
-	wq := &wireCQ{q: q, brokerID: c.brokerID(localID)}
+	wq := &cqSink{c: c, q: q, brokerID: c.brokerID(localID)}
 	// The broker pre-filters with the CQ's own predicate, so the
 	// indexed subscription match does the heavy lifting and the CQ
 	// maintains windows only over relevant events.
@@ -582,36 +676,287 @@ func (c *conn) handleCQ(rest string) {
 		c.reply("ERR " + err.Error())
 		return
 	}
-	c.mu.Lock()
-	c.cqs[localID] = wq
-	c.mu.Unlock()
-	c.reply("OK")
-}
-
-func (c *conn) handleUnsub(rest string) {
-	localID := strings.TrimSpace(rest)
-	c.mu.Lock()
-	bid, isSub := c.subs[localID]
-	wq, isCQ := c.cqs[localID]
-	delete(c.subs, localID)
-	delete(c.cqs, localID)
-	c.mu.Unlock()
-	switch {
-	case isSub:
-		c.srv.eng.Broker.Unsubscribe(bid)
-	case isCQ:
+	if !c.addSink(localID, wq) {
 		c.srv.eng.Broker.Unsubscribe(wq.brokerID)
-	default:
-		c.reply(fmt.Sprintf("ERR no subscription %q", localID))
+		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
 		return
 	}
 	c.reply("OK")
 }
 
-func (c *conn) handleStats() {
+// qsubBindID names the global broker binding that routes matches into
+// a durable queue. It is queue-scoped, not connection-scoped: the
+// binding (and the staged events behind it) outlives any one
+// connection — that is what makes the subscription durable.
+func qsubBindID(name string) string { return "qsub." + name }
+
+func (c *conn) handleQSub(rest string) {
+	name, rest, _ := strings.Cut(rest, " ")
+	mode, filter, _ := strings.Cut(rest, " ")
+	if name == "" {
+		c.reply("ERR QSUB needs a queue name")
+		return
+	}
+	var autoAck bool
+	switch mode {
+	case "auto":
+		autoAck = true
+	case "manual":
+	default:
+		c.reply(fmt.Sprintf("ERR QSUB ack mode %q (want auto or manual)", mode))
+		return
+	}
+	if c.hasSink(name) {
+		c.reply(fmt.Sprintf("ERR id %q already in use", name))
+		return
+	}
+	q, err := c.srv.eng.EnsureQueue(name, c.srv.cfg.Queue)
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	if err := c.bindQueue(name, filter); err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	qs := &queueSink{
+		c:        c,
+		name:     name,
+		q:        q,
+		autoAck:  autoAck,
+		prefetch: c.srv.cfg.QueuePrefetch,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		ackWake:  make(chan struct{}, 1),
+	}
+	if !c.addSink(name, qs) {
+		c.reply(fmt.Sprintf("ERR id %q already in use", name))
+		return
+	}
+	go qs.run()
+	c.reply("OK")
+}
+
+// bindQueue ensures the broker routes filter-matching events into the
+// named queue. A matching binding is reused (reconnect, competing
+// consumers); a different filter rebinds atomically — the binding is
+// never absent mid-rebind, and a broken filter leaves it untouched.
+func (c *conn) bindQueue(name, filter string) error {
+	bid := qsubBindID(name)
+	broker := c.srv.eng.Broker
+	if _, ok := broker.FilterOf(bid); ok {
+		return broker.Rebind(bid, filter)
+	}
+	err := c.srv.eng.SubscribeQueue(bid, "wire", filter, name, 0)
+	if err != nil {
+		// Lost a bind race with another connection: fine if it
+		// installed the same filter.
+		if f, ok := broker.FilterOf(bid); ok && f == filter {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// lookupQueue finds an attached queue, or attaches to its recovered
+// table. Unlike QSUB it never creates: pulling from a queue that was
+// never bound is a client mistake worth surfacing.
+func (c *conn) lookupQueue(name string) (*queue.Queue, error) {
+	if q, ok := c.srv.eng.Queues.Get(name); ok {
+		return q, nil
+	}
+	return c.srv.eng.Queues.Open(name, c.srv.cfg.Queue)
+}
+
+// qevtLine renders one durable delivery.
+func qevtLine(name, token string, attempt int, data []byte) string {
+	return "QEVT " + name + " " + token + " " + strconv.Itoa(attempt) + " " + string(data)
+}
+
+// receiptToken renders the wire receipt for one delivery attempt.
+func receiptToken(id int64, attempt int) string {
+	return strconv.FormatInt(id, 10) + "-" + strconv.Itoa(attempt)
+}
+
+func (c *conn) handleConsume(rest string) {
+	name, maxStr, _ := strings.Cut(rest, " ")
+	max, err := strconv.Atoi(strings.TrimSpace(maxStr))
+	if name == "" || err != nil || max <= 0 {
+		c.reply("ERR CONSUME needs a queue name and a positive max")
+		return
+	}
+	if max > maxBatch {
+		// Same bound as PUBB: one command must not make the server
+		// buffer an entire (arbitrarily deep) queue in memory.
+		c.reply(fmt.Sprintf("ERR CONSUME max %d out of range (want 1..%d)", max, maxBatch))
+		return
+	}
+	q, err := c.lookupQueue(name)
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	consumer := fmt.Sprintf("conn%d", c.id)
+	var lines []string
+	var tokens []string
+	for len(lines) < max {
+		msg, ok, err := q.Dequeue(consumer)
+		if err != nil {
+			// Hand back what this command already claimed: the client
+			// gets only ERR and has no tokens to settle with.
+			for _, tok := range tokens {
+				if r, ok := c.takeReceipt(name, tok); ok {
+					q.Release(r)
+				}
+			}
+			c.reply("ERR " + err.Error())
+			return
+		}
+		if !ok {
+			break
+		}
+		data, err := event.MarshalJSONEvent(msg.Event)
+		if err != nil {
+			// Poison message: Nack so attempts burn down to the dead
+			// letter instead of Release looping it back to the head of
+			// the queue forever.
+			c.srv.eng.Metrics.Counter("server.push.encode_errors").Inc()
+			q.Nack(msg.Receipt, 0)
+			continue
+		}
+		token := receiptToken(msg.Receipt.ID, msg.Attempt)
+		c.trackReceipt(name, token, msg.Receipt, nil)
+		tokens = append(tokens, token)
+		lines = append(lines, qevtLine(name, token, msg.Attempt, data))
+	}
+	// Reply first, then the batch: both flow through the outbound
+	// queue in order, so the client sees "OK <n>" followed by exactly
+	// n QEVT lines (interleaved pushes for other sinks aside).
+	c.reply(fmt.Sprintf("OK %d", len(lines)))
+	for _, line := range lines {
+		c.reply(line)
+	}
+}
+
+func (c *conn) handleAck(rest string) {
+	name, token, _ := strings.Cut(rest, " ")
+	token = strings.TrimSpace(token)
+	r, ok := c.takeReceipt(name, token)
+	if !ok {
+		c.reply(fmt.Sprintf("ERR no outstanding delivery %q on queue %q", token, name))
+		return
+	}
+	q, ok := c.srv.eng.Queues.Get(name)
+	if !ok {
+		c.reply(fmt.Sprintf("ERR no queue %q", name))
+		return
+	}
+	if err := q.Ack(r); err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	c.signalAck(name)
+	c.reply("OK")
+}
+
+func (c *conn) handleNack(rest string) {
+	name, rest2, _ := strings.Cut(rest, " ")
+	token, delayStr, _ := strings.Cut(rest2, " ")
+	delayMS, err := strconv.Atoi(strings.TrimSpace(delayStr))
+	if err != nil || delayMS < 0 {
+		c.reply("ERR NACK needs a non-negative delay in milliseconds")
+		return
+	}
+	r, ok := c.takeReceipt(name, token)
+	if !ok {
+		c.reply(fmt.Sprintf("ERR no outstanding delivery %q on queue %q", token, name))
+		return
+	}
+	q, ok := c.srv.eng.Queues.Get(name)
+	if !ok {
+		c.reply(fmt.Sprintf("ERR no queue %q", name))
+		return
+	}
+	if err := q.Nack(r, time.Duration(delayMS)*time.Millisecond); err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	c.signalAck(name)
+	c.reply("OK")
+}
+
+func (c *conn) handleQStats(rest string) {
+	name := strings.TrimSpace(rest)
+	q, err := c.lookupQueue(name)
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	st := q.Stats()
+	c.reply(fmt.Sprintf("OK ready=%d inflight=%d dead=%d outstanding=%d",
+		st.Ready, st.Inflight, st.Dead, c.outstanding(name)))
+}
+
+// handleReplay backfills history: every message ever staged into the
+// queue from the given WAL position is pushed as a QEVT line with a
+// historical receipt ("h<lsn>", attempt 0, not ackable), followed by
+// "OK <count> <next-lsn>". Replay lines use the blocking reply path —
+// they are request-bounded, and history must not be silently dropped.
+func (c *conn) handleReplay(rest string) {
+	name, fromStr, _ := strings.Cut(rest, " ")
+	fromLSN, err := strconv.ParseUint(strings.TrimSpace(fromStr), 10, 64)
+	if name == "" || err != nil {
+		c.reply("ERR REPLAY needs a queue name and a starting LSN")
+		return
+	}
+	next, n, err := c.srv.eng.ReplayQueue(name, fromLSN, func(ev *event.Event, lsn uint64, _ int64) error {
+		data, err := event.MarshalJSONEvent(ev)
+		if err != nil {
+			return err
+		}
+		c.reply(qevtLine(name, "h"+strconv.FormatUint(lsn, 10), 0, data))
+		return nil
+	})
+	if err != nil {
+		c.reply("ERR " + err.Error())
+		return
+	}
+	c.srv.eng.Metrics.Counter("server.replay.events").Add(uint64(n))
+	c.reply(fmt.Sprintf("OK %d %d", n, next))
+}
+
+func (c *conn) handleUnsub(rest string) {
+	localID := strings.TrimSpace(rest)
 	c.mu.Lock()
-	subs, cqs := len(c.subs), len(c.cqs)
+	s, ok := c.sinks[localID]
+	delete(c.sinks, localID)
 	c.mu.Unlock()
-	c.reply(fmt.Sprintf("OK sent=%d dropped=%d queued=%d subs=%d cqs=%d",
-		c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs))
+	if !ok {
+		c.reply(fmt.Sprintf("ERR no subscription %q", localID))
+		return
+	}
+	// For a durable consumer this stops delivery to this connection and
+	// releases its unacked messages; the queue, its staged events, and
+	// the broker binding all survive for the next attach.
+	s.detach()
+	c.reply("OK")
+}
+
+func (c *conn) handleStats() {
+	var subs, cqs, qsubs int
+	c.mu.Lock()
+	for _, s := range c.sinks {
+		switch s.kind() {
+		case "sub":
+			subs++
+		case "cq":
+			cqs++
+		case "qsub":
+			qsubs++
+		}
+	}
+	c.mu.Unlock()
+	c.reply(fmt.Sprintf("OK sent=%d dropped=%d queued=%d subs=%d cqs=%d qsubs=%d",
+		c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs))
 }
