@@ -1,4 +1,4 @@
-// Experiment benchmarks E1–E15. Each benchmark regenerates one row or
+// Experiment benchmarks E1–E16. Each benchmark regenerates one row or
 // series of the experiment tables in EXPERIMENTS.md; cmd/edabench runs
 // curated sweeps of the same code and prints the tables.
 //
@@ -1019,4 +1019,108 @@ func BenchmarkE15ReplayBackfill(b *testing.B) {
 		b.Fatalf("replayed %d, want %d", n, b.N)
 	}
 	<-done
+}
+
+// --- E16: database-mediated capture over the wire ----------------------
+
+// e16Stack serves an engine with a captured stock table: an AFTER
+// trigger (registered over the wire, as a client would) turns every
+// committed change into a "db.stock.<op>" event, and a subscriber on a
+// second connection receives the fan-out.
+func e16Stack(b *testing.B) (*client.Conn, *client.Subscription) {
+	b.Helper()
+	eng, err := core.Open(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	w, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { w.Close() })
+	err = w.CreateTable(client.TableSpec{Name: "stock", Columns: []client.ColumnSpec{
+		{Name: "sku", Kind: "string", NotNull: true},
+		{Name: "qty", Kind: "int", NotNull: true},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Trigger("cap", client.TriggerSpec{Table: "stock"}); err != nil {
+		b.Fatal(err)
+	}
+	subConn, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { subConn.Close() })
+	sub, err := subConn.Subscribe("caps", "table = 'stock'", 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, sub
+}
+
+// BenchmarkE16WireDMLCapture measures database-mediated capture end to
+// end: a wire INSERT commits through the storage engine, the AFTER
+// trigger converts the change to an event, and the fan-out pushes it
+// to a subscriber on another connection. Compare with
+// BenchmarkE16WireDirectPub — the gap is what the paper's §2.2.a.i
+// capture path costs over publishing the same fact directly.
+func BenchmarkE16WireDMLCapture(b *testing.B) {
+	w, sub := e16Stack(b)
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, ok := <-sub.C; !ok {
+				b.Error("subscription closed")
+				return
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Insert("stock", map[string]any{"sku": "w", "qty": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	if d := sub.Dropped(); d != 0 {
+		b.Fatalf("dropped %d pushes client-side", d)
+	}
+}
+
+// BenchmarkE16WireDirectPub is the baseline: the same fact published
+// as a plain event, skipping table commit and trigger evaluation.
+func BenchmarkE16WireDirectPub(b *testing.B) {
+	w, sub := e16Stack(b)
+	ev := event.New("db.stock.insert", map[string]any{
+		"table": "stock", "op": "insert", "new_sku": "w", "new_qty": 1,
+	})
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, ok := <-sub.C; !ok {
+				b.Error("subscription closed")
+				return
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Publish(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	if d := sub.Dropped(); d != 0 {
+		b.Fatalf("dropped %d pushes client-side", d)
+	}
 }

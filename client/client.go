@@ -84,6 +84,48 @@ const (
 // ErrClosed is returned by operations on a closed connection.
 var ErrClosed = errors.New("client: connection closed")
 
+// Error is a structured server refusal: Code is a stable token from
+// the server's error taxonomy (see ARCHITECTURE.md — "badargs",
+// "nosub", "noqueue", "aborted", …) and Msg is the human-readable
+// detail, which may change between releases. Branch on Code:
+//
+//	var serr *client.Error
+//	if errors.As(err, &serr) && serr.Code == "aborted" { ... }
+type Error struct {
+	Code string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Msg
+	}
+	return e.Code + ": " + e.Msg
+}
+
+// knownCodes mirrors the server's taxonomy (internal/server/errors.go)
+// so free-text errors from pre-taxonomy servers are never mistaken for
+// coded ones.
+var knownCodes = map[string]bool{
+	"unknown": true, "badargs": true, "badjson": true, "badspec": true,
+	"toobig": true, "dup": true, "nosub": true, "noreceipt": true,
+	"noqueue": true, "notable": true, "notrig": true, "nowatch": true,
+	"conflict": true, "aborted": true, "notdurable": true,
+	"limit": true, "internal": true,
+}
+
+// serverError parses the payload of an "ERR " reply line. Replies from
+// servers predating the taxonomy (no recognizable code token) keep the
+// whole payload as Msg.
+func serverError(payload string) *Error {
+	code, msg, ok := strings.Cut(payload, " ")
+	if !ok || !knownCodes[code] {
+		return &Error{Msg: payload}
+	}
+	return &Error{Code: code, Msg: msg}
+}
+
 // Conn is a connection to an eventdb server. Safe for concurrent use.
 type Conn struct {
 	nc net.Conn
@@ -268,7 +310,7 @@ func (c *Conn) call(req string, extra ...string) (string, error) {
 	select {
 	case line := <-waiter:
 		if msg, ok := strings.CutPrefix(line, "ERR "); ok {
-			return "", errors.New(msg)
+			return "", serverError(msg)
 		}
 		return strings.TrimPrefix(line, "OK "), nil
 	case <-c.done:

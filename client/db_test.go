@@ -1,0 +1,93 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+
+	"eventdb/client"
+)
+
+// TestDatabaseVerbs drives the client's database APIs against a live
+// server: DDL, DML through triggers, one-shot reads, and structured
+// error codes.
+func TestDatabaseVerbs(t *testing.T) {
+	srv := startServer(t)
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.CreateTable(client.TableSpec{
+		Name: "sensors",
+		Columns: []client.ColumnSpec{
+			{Name: "site", Kind: "string", NotNull: true},
+			{Name: "temp", Kind: "float", NotNull: true},
+			{Name: "at", Kind: "time"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A duplicate table is a structured "dup" refusal.
+	err = c.CreateTable(client.TableSpec{
+		Name:    "sensors",
+		Columns: []client.ColumnSpec{{Name: "x", Kind: "int"}},
+	})
+	var serr *client.Error
+	if !errors.As(err, &serr) || serr.Code != "dup" {
+		t.Fatalf("duplicate table error = %v", err)
+	}
+
+	// Times cross the wire as RFC 3339 strings.
+	if _, err := c.Insert("sensors", map[string]any{
+		"site": "lab", "temp": 21.5, "at": "2026-07-30T08:00:00Z",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("sensors", map[string]any{"site": "roof", "temp": 35.0}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Select(client.QuerySpec{
+		Table: "sensors", Where: "temp > 30", Select: []string{"site", "at"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "roof" || res.Rows[0][1] != nil {
+		t.Fatalf("select = %+v", res)
+	}
+
+	if n, err := c.Update("sensors", "site = 'lab'", map[string]any{"temp": 22.0}); err != nil || n != 1 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	if n, err := c.Delete("sensors", "temp >= 22"); err != nil || n != 2 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+
+	// Spec problems come back as "badspec"; missing tables as
+	// "notable"; framing-hostile names are rejected client-side.
+	if _, err := c.Select(client.QuerySpec{Table: "missing"}); !errors.As(err, &serr) || serr.Code != "notable" {
+		t.Fatalf("missing table error = %v", err)
+	}
+	if _, err := c.Update("sensors", "temp >>> 1", map[string]any{"temp": 0}); !errors.As(err, &serr) || serr.Code != "badspec" {
+		t.Fatalf("bad where error = %v", err)
+	}
+	if _, err := c.Insert("bad name", nil); err == nil {
+		t.Fatal("table name with a space accepted")
+	}
+	if err := c.Watch("w", client.WatchSpec{}); !errors.As(err, &serr) || serr.Code != "badspec" {
+		t.Fatalf("empty watch error = %v", err)
+	}
+	if err := c.Unwatch("nope"); !errors.As(err, &serr) || serr.Code != "nowatch" {
+		t.Fatalf("unwatch error = %v", err)
+	}
+	if err := c.DropTrigger("nope"); !errors.As(err, &serr) || serr.Code != "notrig" {
+		t.Fatalf("drop trigger error = %v", err)
+	}
+	// The connection survives every refusal.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,5 +1,5 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E15 from DESIGN.md, each checking a claim
+// one table per experiment E1–E16 from DESIGN.md, each checking a claim
 // of the tutorial. Run with -quick for smaller sweeps; -shards and
 // -batch pin the E13 pipeline sweep to one configuration; -subs sets
 // the E14 wire-subscriber count and -net points E14's streaming half
@@ -60,6 +60,7 @@ func main() {
 	e13()
 	e14()
 	e15()
+	e16()
 }
 
 // rate times n iterations of f and returns ops/sec and ns/op.
@@ -939,4 +940,69 @@ func e15() {
 		eng.Close()
 		fmt.Printf("| REPLAY journal backfill | %.0f | n/a (history) |\n", float64(N)/secs)
 	}
+}
+
+// e16 measures database-mediated capture over the wire (§2.2.a.i made
+// reachable by the command plane): a wire INSERT commits through the
+// storage engine, an AFTER trigger converts the change into an event,
+// and the fan-out pushes it to a subscriber connection — against the
+// baseline of publishing the same fact directly with PUB.
+func e16() {
+	header("E16", "wire DML → trigger capture → push, vs direct PUB (§2.2.a.i over the wire)")
+	N := n(20000, 2000)
+	fmt.Println("| path | events/sec end-to-end | capture overhead |")
+	fmt.Println("|---|---|---|")
+
+	run := func(insert bool) float64 {
+		eng, err := core.Open(core.Config{})
+		must(err)
+		srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+		must(err)
+		w, err := client.Dial(srv.Addr())
+		must(err)
+		must(w.CreateTable(client.TableSpec{Name: "stock", Columns: []client.ColumnSpec{
+			{Name: "sku", Kind: "string", NotNull: true},
+			{Name: "qty", Kind: "int", NotNull: true},
+		}}))
+		must(w.Trigger("cap", client.TriggerSpec{Table: "stock"}))
+		subConn, err := client.Dial(srv.Addr())
+		must(err)
+		sub, err := subConn.Subscribe("caps", "table = 'stock'", N+1024)
+		must(err)
+		ev := event.New("db.stock.insert", map[string]any{
+			"table": "stock", "op": "insert", "new_sku": "w", "new_qty": 1,
+		})
+		start := time.Now()
+		fed := make(chan struct{})
+		go func() {
+			defer close(fed)
+			for i := 0; i < N; i++ {
+				if insert {
+					if _, err := w.Insert("stock", map[string]any{"sku": "w", "qty": i}); err != nil {
+						must(err)
+					}
+				} else if _, err := w.Publish(ev); err != nil {
+					must(err)
+				}
+			}
+		}()
+		for i := 0; i < N; i++ {
+			if _, ok := <-sub.C; !ok {
+				must(errors.New("subscription closed"))
+			}
+		}
+		<-fed // the writer's last reply may trail its push
+		secs := time.Since(start).Seconds()
+		subConn.Close()
+		w.Close()
+		srv.Close()
+		eng.Close()
+		return float64(N) / secs
+	}
+
+	pubRate := run(false)
+	dmlRate := run(true)
+	fmt.Printf("| direct PUB → EVT | %.0f | baseline |\n", pubRate)
+	fmt.Printf("| wire INSERT → trigger → EVT | %.0f | %.2fx per event |\n",
+		dmlRate, pubRate/dmlRate)
 }

@@ -5,7 +5,7 @@
 //	eventdbd [-addr host:port] [-dir path] [-shards n] [-shard-buffer n]
 //	         [-drop-on-full] [-max-conns n] [-sub-buffer n]
 //	         [-visibility d] [-queue-max-attempts n] [-queue-prefetch n]
-//	         [-rule name=condition]...
+//	         [-watch-interval d] [-rule name=condition]...
 //
 // Foreign systems speak the streaming line protocol documented in
 // internal/server: they publish JSON events (PUB, and PUBB for
@@ -13,6 +13,14 @@
 // queries (CQ) whose matches are pushed back as EVT lines — rules,
 // subscriptions and windows all evaluate inside the database process
 // (the paper's "internal evaluation" path).
+//
+// The database plane exposes the capture side: TABLE creates schema,
+// INSERT/UPDATE/DELETE mutate rows so triggers fire (TRIG registers
+// them, with WHEN guards over old./new. images and optional BEFORE
+// veto), SELECT reads back through the query planner, and WATCH
+// schedules repeatedly-evaluated queries whose result-set diffs are
+// ingested as events. -watch-interval sets the default poll cadence
+// for WATCHed queries that don't pick their own.
 //
 // Durable subscriptions (QSUB/CONSUME/ACK/NACK/QSTATS/REPLAY) stage
 // matches in named queues backed by database tables. With -dir set
@@ -71,6 +79,7 @@ func main() {
 	visibility := flag.Duration("visibility", 30*time.Second, "durable queue visibility timeout before unacked deliveries retry")
 	queueMaxAttempts := flag.Int("queue-max-attempts", 5, "durable queue delivery attempts before dead-lettering")
 	queuePrefetch := flag.Int("queue-prefetch", 256, "unacknowledged deliveries allowed per durable consumer")
+	watchInterval := flag.Duration("watch-interval", 100*time.Millisecond, "default poll cadence for WATCHed queries without an explicit interval")
 	var ruleDefs ruleFlags
 	flag.Var(&ruleDefs, "rule", "rule as name=condition (repeatable); matches are logged")
 	flag.Parse()
@@ -120,6 +129,7 @@ func main() {
 		SubBuffer:     *subBuffer,
 		Queue:         qcfg,
 		QueuePrefetch: *queuePrefetch,
+		WatchInterval: *watchInterval,
 	}
 	if *dropOnFull {
 		srvCfg.Overflow = server.DropOnFull

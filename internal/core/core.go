@@ -85,6 +85,10 @@ type Engine struct {
 	pipeline *pipeline
 	// scratch pools (matcher, publisher) pairs for IngestBatch callers.
 	scratch sync.Pool
+
+	// watches is the scheduled watched-query registry (see watch.go).
+	watchMu sync.Mutex
+	watches map[string]*watchEntry
 }
 
 // Open assembles an engine.
@@ -144,6 +148,9 @@ func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	// Watches first: they generate fresh capture events, and everything
+	// they produce before the pipeline drain below still evaluates.
+	e.stopAllWatches()
 	// Drain the pipeline before detaching trigger capture: draining
 	// events' rule actions can still write to captured tables, and
 	// those cascades must be captured (they evaluate inline via

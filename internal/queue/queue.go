@@ -94,11 +94,15 @@ func (m *Manager) Create(name string, cfg Config) (*Queue, error) {
 	return m.attach(name, cfg)
 }
 
+// ErrNotFound wraps lookups of queues whose backing table does not
+// exist, so callers can distinguish absence from attach failures.
+var ErrNotFound = errors.New("queue: no such queue")
+
 // Open attaches to an existing queue table (e.g. after recovery),
 // rebuilding the in-memory ready/delayed structures from it.
 func (m *Manager) Open(name string, cfg Config) (*Queue, error) {
 	if _, ok := m.db.Table(TableName(name)); !ok {
-		return nil, fmt.Errorf("queue: no queue %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return m.attach(name, cfg)
 }
@@ -132,7 +136,7 @@ func (m *Manager) attach(name string, cfg Config) (*Queue, error) {
 	}
 	tbl, ok := m.db.Table(TableName(name))
 	if !ok {
-		return nil, fmt.Errorf("queue: no queue %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	q := &Queue{
 		name:     name,

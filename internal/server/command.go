@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+)
+
+// The command registry. Every wire verb — old pub/sub plane and new
+// database plane alike — is one table entry: a name, a declared
+// argument shape, and a handler. The read loop knows nothing about any
+// verb; it parses the shared line framing, resolves the entry, and
+// dispatches. Adding a verb is adding an entry, not switch surgery.
+
+// tailMode says what a command expects after its fixed arguments.
+type tailMode int
+
+const (
+	// noTail: the line must end after the fixed arguments.
+	noTail tailMode = iota
+	// optionalTail: free-form remainder, may be empty (e.g. a filter —
+	// empty matches everything).
+	optionalTail
+	// requiredTail: free-form remainder, must be non-empty (JSON
+	// payloads).
+	requiredTail
+)
+
+// request is one parsed command: the fixed arguments, the free-form
+// tail, and the connection's buffered reader for body-consuming
+// commands (PUBB reads its batch lines through it).
+type request struct {
+	args []string
+	tail string
+	r    *bufio.Reader
+}
+
+// int1 parses args[i] as a non-negative int, for handlers with numeric
+// arguments.
+func (req *request) int1(i int) (int, bool) {
+	n, err := strconv.Atoi(req.args[i])
+	return n, err == nil && n >= 0
+}
+
+// handler runs one parsed command. Returning false closes the
+// connection (QUIT, or loss of line framing).
+type handler func(c *conn, req *request) bool
+
+// cmdSpec declares one verb's wire shape.
+type cmdSpec struct {
+	// args is the number of fixed space-separated arguments.
+	args int
+	// tail declares the free-form remainder after the fixed arguments.
+	tail tailMode
+	// usage is the synopsis quoted in badargs replies.
+	usage string
+	// handle runs the command.
+	handle handler
+}
+
+// parse splits the post-verb remainder into fixed arguments and tail.
+// It returns a human-readable problem ("" on success) so the dispatch
+// loop stays verb-agnostic.
+func (s *cmdSpec) parse(rest string, r *bufio.Reader) (*request, string) {
+	req := &request{r: r}
+	if s.args > 0 {
+		req.args = make([]string, 0, s.args)
+		for i := 0; i < s.args; i++ {
+			tok, remainder, _ := strings.Cut(rest, " ")
+			if tok == "" {
+				return nil, "missing arguments"
+			}
+			req.args = append(req.args, tok)
+			rest = remainder
+		}
+	}
+	switch s.tail {
+	case noTail:
+		if strings.TrimSpace(rest) != "" {
+			return nil, "unexpected trailing arguments"
+		}
+	case requiredTail:
+		if strings.TrimSpace(rest) == "" {
+			return nil, "missing payload"
+		}
+		req.tail = rest
+	case optionalTail:
+		req.tail = rest
+	}
+	return req, ""
+}
+
+// commands is the verb table. Populated by init so the entries can live
+// next to their handlers across files.
+var commands = make(map[string]*cmdSpec)
+
+// register installs one verb; duplicate registration is a programming
+// error caught at startup.
+func register(verb string, spec cmdSpec) {
+	if _, dup := commands[verb]; dup {
+		panic("server: duplicate command " + verb)
+	}
+	commands[verb] = &spec
+}
+
+func init() {
+	// Liveness and teardown.
+	register("PING", cmdSpec{usage: "PING",
+		handle: func(c *conn, _ *request) bool { c.reply("PONG"); return true }})
+	register("QUIT", cmdSpec{usage: "QUIT",
+		handle: func(_ *conn, _ *request) bool { return false }})
+	register("STATS", cmdSpec{usage: "STATS", handle: handleStats})
+
+	// Publish/match: the message-store front door.
+	register("PUB", cmdSpec{tail: requiredTail, usage: "PUB <json-event>", handle: handlePub})
+	register("PUBB", cmdSpec{tail: requiredTail, usage: "PUBB <n>", handle: handlePubBatch})
+	register("MATCH", cmdSpec{tail: requiredTail, usage: "MATCH <json-event>", handle: handleMatch})
+
+	// Ephemeral push sinks.
+	register("SUB", cmdSpec{args: 1, tail: optionalTail, usage: "SUB <id> <filter>", handle: handleSub})
+	register("CQ", cmdSpec{args: 1, tail: requiredTail, usage: "CQ <id> <json-spec>", handle: handleCQ})
+	register("UNSUB", cmdSpec{args: 1, usage: "UNSUB <id>", handle: handleUnsub})
+
+	// Durable queue plane.
+	register("QSUB", cmdSpec{args: 2, tail: optionalTail, usage: "QSUB <name> <auto|manual> <filter>", handle: handleQSub})
+	register("CONSUME", cmdSpec{args: 2, usage: "CONSUME <name> <max>", handle: handleConsume})
+	register("ACK", cmdSpec{args: 2, usage: "ACK <name> <receipt>", handle: handleAck})
+	register("NACK", cmdSpec{args: 3, usage: "NACK <name> <receipt> <delay-ms>", handle: handleNack})
+	register("QSTATS", cmdSpec{args: 1, usage: "QSTATS <name>", handle: handleQStats})
+	register("REPLAY", cmdSpec{args: 2, usage: "REPLAY <name> <from-lsn>", handle: handleReplay})
+
+	// Database plane: DDL, DML, one-shot reads, triggers, watched
+	// queries (see dbcmds.go).
+	register("TABLE", cmdSpec{tail: requiredTail, usage: "TABLE <json-spec>", handle: handleTable})
+	register("INSERT", cmdSpec{args: 1, tail: requiredTail, usage: "INSERT <table> <json-values>", handle: handleInsert})
+	register("UPDATE", cmdSpec{args: 1, tail: requiredTail, usage: "UPDATE <table> <json: where/set>", handle: handleUpdate})
+	register("DELETE", cmdSpec{args: 1, tail: requiredTail, usage: "DELETE <table> <json: where>", handle: handleDelete})
+	register("SELECT", cmdSpec{tail: requiredTail, usage: "SELECT <json-spec>", handle: handleSelect})
+	register("TRIG", cmdSpec{args: 1, tail: requiredTail, usage: "TRIG <name> <json-spec>", handle: handleTrig})
+	register("UNTRIG", cmdSpec{args: 1, usage: "UNTRIG <name>", handle: handleUntrig})
+	register("WATCH", cmdSpec{args: 1, tail: requiredTail, usage: "WATCH <name> <json-spec>", handle: handleWatch})
+	register("UNWATCH", cmdSpec{args: 1, usage: "UNWATCH <name>", handle: handleUnwatch})
+}
+
+// dispatch parses and runs one command line. The only framing decision
+// here is verb lookup; everything verb-specific lives in the handlers.
+func dispatch(c *conn, line string) bool {
+	verb, rest, _ := strings.Cut(line, " ")
+	spec, ok := commands[strings.ToUpper(verb)]
+	if !ok {
+		c.errf(codeUnknown, "unknown command %q", verb)
+		return true
+	}
+	req, problem := spec.parse(rest, c.br)
+	if problem != "" {
+		c.errf(codeBadArgs, "%s (usage: %s)", problem, spec.usage)
+		return true
+	}
+	return spec.handle(c, req)
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"eventdb/internal/cq"
+	"eventdb/internal/event"
+	"eventdb/internal/pubsub"
+)
+
+// Handlers for the message plane: publishing, matching, ephemeral push
+// sinks (SUB/CQ), and connection introspection. Each is a registry
+// entry (see command.go); none is reachable except through dispatch.
+
+func handlePub(c *conn, req *request) bool {
+	ev, err := event.UnmarshalJSONEvent([]byte(req.tail))
+	if err != nil {
+		c.errf(codeBadJSON, "%v", err)
+		return true
+	}
+	// Exact per-event delivery count on a synchronous engine; 0 on an
+	// async engine, where evaluation happens after the reply.
+	delivered, err := c.srv.eng.IngestCount(ev)
+	if err != nil {
+		c.errf(codeInternal, "%v", err)
+		return true
+	}
+	c.reply(fmt.Sprintf("OK %d", delivered))
+	return true
+}
+
+// handlePubBatch reads the n event lines of a PUBB and ingests them as
+// one batch through the engine's sharded pipeline. All n lines are
+// consumed even on error, keeping the protocol in sync; it returns
+// false only when line framing is lost (unreadable count) or the
+// connection itself failed.
+func handlePubBatch(c *conn, req *request) bool {
+	n, err := strconv.Atoi(strings.TrimSpace(req.tail))
+	if err != nil {
+		// Unreadable count: the following lines can't be framed, so the
+		// connection must drop rather than misread events as commands.
+		c.errf(codeBadArgs, "bad batch size %q", req.tail)
+		return false
+	}
+	if n <= 0 || n > maxBatch {
+		// The count is known, so stay in sync by consuming the batch.
+		for i := 0; i < n; i++ {
+			if _, err := req.r.ReadString('\n'); err != nil {
+				return false
+			}
+		}
+		c.errf(codeTooBig, "batch size %d out of range (want 1..%d)", n, maxBatch)
+		return true
+	}
+	evs := make([]*event.Event, 0, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		line, err := req.r.ReadString('\n')
+		if err != nil {
+			return false
+		}
+		ev, err := event.UnmarshalJSONEvent([]byte(strings.TrimRight(line, "\r\n")))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("event %d: %w", i, err)
+			}
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	if firstErr != nil {
+		c.errf(codeBadJSON, "%v", firstErr)
+		return true
+	}
+	if err := c.srv.eng.IngestBatch(evs); err != nil {
+		c.errf(codeInternal, "%v", err)
+		return true
+	}
+	c.reply(fmt.Sprintf("OK %d", len(evs)))
+	return true
+}
+
+func handleMatch(c *conn, req *request) bool {
+	ev, err := event.UnmarshalJSONEvent([]byte(req.tail))
+	if err != nil {
+		c.errf(codeBadJSON, "%v", err)
+		return true
+	}
+	ids, err := c.srv.eng.Broker.MatchOnly(ev)
+	if err != nil {
+		c.errf(codeInternal, "%v", err)
+		return true
+	}
+	c.reply("OK " + strings.Join(ids, ","))
+	return true
+}
+
+func handleSub(c *conn, req *request) bool {
+	localID, filter := req.args[0], req.tail
+	if c.hasSink(localID) {
+		c.errf(codeDup, "id %q already in use", localID)
+		return true
+	}
+	bid := c.brokerID(localID)
+	err := c.srv.eng.Broker.Subscribe(bid, fmt.Sprintf("conn%d", c.id), filter,
+		func(d pubsub.Delivery) { c.pushEvent(localID, d.Event) })
+	if err != nil {
+		c.errf(codeBadSpec, "%v", err)
+		return true
+	}
+	if !c.addSink(localID, &subSink{c: c, brokerID: bid}) {
+		c.srv.eng.Broker.Unsubscribe(bid)
+		c.errf(codeDup, "id %q already in use", localID)
+		return true
+	}
+	c.reply("OK")
+	return true
+}
+
+func handleCQ(c *conn, req *request) bool {
+	localID, spec := req.args[0], req.tail
+	if c.hasSink(localID) {
+		c.errf(codeDup, "id %q already in use", localID)
+		return true
+	}
+	def, err := cq.ParseSpec(localID, []byte(spec))
+	if err != nil {
+		c.errf(codeBadSpec, "%v", err)
+		return true
+	}
+	q, err := cq.New(def)
+	if err != nil {
+		c.errf(codeBadSpec, "%v", err)
+		return true
+	}
+	wq := &cqSink{c: c, q: q, brokerID: c.brokerID(localID)}
+	// The broker pre-filters with the CQ's own predicate, so the
+	// indexed subscription match does the heavy lifting and the CQ
+	// maintains windows only over relevant events.
+	err = c.srv.eng.Broker.Subscribe(wq.brokerID, fmt.Sprintf("conn%d", c.id), def.Filter,
+		func(d pubsub.Delivery) {
+			// The lock covers the pushes too: on a sharded engine two
+			// workers can feed this CQ back to back, and releasing
+			// between Feed and push would let a newer aggregate be
+			// enqueued before an older one, leaving the client with a
+			// stale "latest" result.
+			wq.mu.Lock()
+			defer wq.mu.Unlock()
+			outs, err := wq.q.Feed(d.Event)
+			if err != nil {
+				c.srv.eng.Metrics.Counter("server.cq.errors").Inc()
+				return
+			}
+			for _, out := range outs {
+				c.pushEvent(localID, out)
+			}
+		})
+	if err != nil {
+		c.errf(codeBadSpec, "%v", err)
+		return true
+	}
+	if !c.addSink(localID, wq) {
+		c.srv.eng.Broker.Unsubscribe(wq.brokerID)
+		c.errf(codeDup, "id %q already in use", localID)
+		return true
+	}
+	c.reply("OK")
+	return true
+}
+
+func handleUnsub(c *conn, req *request) bool {
+	localID := req.args[0]
+	c.mu.Lock()
+	s, ok := c.sinks[localID]
+	delete(c.sinks, localID)
+	c.mu.Unlock()
+	if !ok {
+		c.errf(codeNoSub, "no subscription %q", localID)
+		return true
+	}
+	// For a durable consumer this stops delivery to this connection and
+	// releases its unacked messages; the queue, its staged events, and
+	// the broker binding all survive for the next attach.
+	s.detach()
+	c.reply("OK")
+	return true
+}
+
+func handleStats(c *conn, _ *request) bool {
+	var subs, cqs, qsubs int
+	c.mu.Lock()
+	for _, s := range c.sinks {
+		switch s.kind() {
+		case "sub":
+			subs++
+		case "cq":
+			cqs++
+		case "qsub":
+			qsubs++
+		}
+	}
+	c.mu.Unlock()
+	c.reply(fmt.Sprintf("OK sent=%d dropped=%d queued=%d subs=%d cqs=%d qsubs=%d",
+		c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs))
+	return true
+}

@@ -304,14 +304,15 @@ func TestConsumePullMode(t *testing.T) {
 		t.Errorf("nacked redelivery attempt = %d", d.attempt)
 	}
 	c.mustOK("ACK jobs " + d.token)
-	// Errors: unknown queue, bad max, unknown receipt.
+	// Errors carry their stable taxonomy code: unknown queue, bad max,
+	// unknown receipt, bad ack mode.
 	for req, want := range map[string]string{
-		"CONSUME nope 5":  "ERR ",
-		"CONSUME jobs 0":  "ERR CONSUME needs",
-		"ACK jobs 99-1":   "ERR no outstanding",
-		"NACK jobs 1-1 x": "ERR NACK needs",
-		"QSTATS nope":     "ERR ",
-		"QSUB bad wat f":  "ERR QSUB ack mode",
+		"CONSUME nope 5":  "ERR noqueue ",
+		"CONSUME jobs 0":  "ERR badargs ",
+		"ACK jobs 99-1":   "ERR noreceipt ",
+		"NACK jobs 1-1 x": "ERR badargs ",
+		"QSTATS nope":     "ERR noqueue ",
+		"QSUB bad wat f":  "ERR badargs ",
 	} {
 		if resp := c.ask(req); !strings.HasPrefix(resp, want) {
 			t.Errorf("%s → %q, want prefix %q", req, resp, want)
@@ -495,7 +496,7 @@ func TestConsumeMaxCapped(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := rawDial(t, srv)
-	if resp := c.ask("CONSUME jobs 2000000000"); !strings.HasPrefix(resp, "ERR CONSUME max") {
+	if resp := c.ask("CONSUME jobs 2000000000"); !strings.HasPrefix(resp, "ERR toobig ") {
 		t.Fatalf("oversized CONSUME → %q", resp)
 	}
 }

@@ -1,0 +1,57 @@
+package server
+
+import "fmt"
+
+// Wire error taxonomy. Every error reply is one line,
+//
+//	ERR <code> <message>
+//
+// where <code> is a stable machine-readable token from the list below
+// and <message> is free-form human text. Clients branch on the code
+// (eventdb's client package surfaces it as Error.Code); the message may
+// change between releases, the codes may not. The taxonomy is
+// documented in ARCHITECTURE.md and asserted by the server tests.
+const (
+	// codeUnknown: the verb is not in the command registry.
+	codeUnknown = "unknown"
+	// codeBadArgs: wrong argument count or a malformed scalar argument.
+	codeBadArgs = "badargs"
+	// codeBadJSON: a JSON payload (event or spec) failed to parse.
+	codeBadJSON = "badjson"
+	// codeBadSpec: well-formed JSON but semantically invalid — unknown
+	// kinds, uncompilable filters/predicates, missing required fields.
+	codeBadSpec = "badspec"
+	// codeTooBig: a size argument exceeds the server's bounds.
+	codeTooBig = "toobig"
+	// codeDup: the id or name is already in use.
+	codeDup = "dup"
+	// codeNoSub: no subscription/sink registered under the id.
+	codeNoSub = "nosub"
+	// codeNoReceipt: no outstanding delivery under the receipt token.
+	codeNoReceipt = "noreceipt"
+	// codeNoQueue: no durable queue with that name.
+	codeNoQueue = "noqueue"
+	// codeNoTable: no table with that name.
+	codeNoTable = "notable"
+	// codeNoTrigger: no trigger with that name.
+	codeNoTrigger = "notrig"
+	// codeNoWatch: no watched query with that name.
+	codeNoWatch = "nowatch"
+	// codeConflict: the database rejected a change (constraint
+	// violation, stale receipt, missing row).
+	codeConflict = "conflict"
+	// codeAborted: a BEFORE trigger vetoed the transaction.
+	codeAborted = "aborted"
+	// codeNotDurable: the operation needs a WAL-backed engine (-dir).
+	codeNotDurable = "notdurable"
+	// codeLimit: a server resource limit refused the operation.
+	codeLimit = "limit"
+	// codeInternal: an engine-side failure not attributable to the
+	// request.
+	codeInternal = "internal"
+)
+
+// errf queues one coded error reply.
+func (c *conn) errf(code, format string, a ...any) {
+	c.reply("ERR " + code + " " + fmt.Sprintf(format, a...))
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"eventdb/internal/core"
+)
+
+// FuzzReadLine throws arbitrary bytes at a live connection: malformed
+// verbs, oversized arguments, truncated PUBB bodies, binary garbage.
+// The contract under fuzz is narrow but absolute — the server must
+// never panic, and every connection must tear down completely (no
+// leaked conn registration) once the client goes away. CI runs this
+// with a short -fuzztime as a smoke test; the seed corpus alone runs
+// on every plain `go test`.
+func FuzzReadLine(f *testing.F) {
+	eng, err := core.Open(core.Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv, err := StartConfig(eng, "127.0.0.1:0", Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+
+	seeds := []string{
+		"PING\nQUIT\n",
+		"PUB {\"type\":\"t\",\"attrs\":{\"a\":1}}\n",
+		"PUBB 3\n{\"type\":\"t\",\"attrs\":{}}\n", // truncated batch body
+		"PUBB 999999999999999999999\n",
+		"PUBB -1\n",
+		"SUB s1 temp > 30\nUNSUB s1\n",
+		"CQ c1 {\"aggs\":[{\"alias\":\"n\",\"kind\":\"count\"}],\"window\":{\"kind\":\"count\",\"size\":5}}\n",
+		"QSUB q manual \nCONSUME q 5\nACK q 1-1\nNACK q 1-1 10\n",
+		"TABLE {\"name\":\"t\",\"columns\":[{\"name\":\"a\",\"kind\":\"int\"}]}\nINSERT t {\"a\":1}\n",
+		"UPDATE t {\"where\":\"a = 1\",\"set\":{\"a\":2}}\nDELETE t {}\nSELECT {\"table\":\"t\"}\n",
+		"TRIG g {\"table\":\"t\",\"timing\":\"before\",\"veto\":\"no\"}\nUNTRIG g\n",
+		"WATCH w {\"query\":{\"table\":\"t\"},\"key\":[\"a\"]}\nUNWATCH w\n",
+		"REPLAY q 0\nQSTATS q\nSTATS\nMATCH {\"type\":\"t\"}\n",
+		"BOGUS with args\n\x00\xff\n  \n",
+		strings.Repeat("A", 70000) + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<17 {
+			return // bound each case; oversized lines are covered by a seed
+		}
+		nc, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Skip("dial failed (fd pressure)")
+		}
+		nc.SetDeadline(time.Now().Add(2 * time.Second))
+		nc.Write(data)
+		// Half-close: the server reads EOF after consuming whatever the
+		// payload framed, and must then tear the connection down.
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		io.Copy(io.Discard, nc) // drain replies until the server closes
+		nc.Close()
+		// Full teardown, not just EOF: a leaked conn registration (or a
+		// handler deadlocked on a sink) shows up here.
+		deadline := time.Now().Add(2 * time.Second)
+		for srv.ConnCount() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("connection leaked: %d still registered", srv.ConnCount())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// TestTeardownReleasesSinks pins the no-leak half of the fuzz contract
+// deterministically: a connection that registers one of every sink
+// kind and vanishes without UNSUB leaves the broker exactly as it
+// found it, except for the intentionally durable QSUB queue binding.
+func TestTeardownReleasesSinks(t *testing.T) {
+	eng, srv := startServer(t, core.Config{}, Config{})
+	base := eng.Broker.Len()
+	c := rawDial(t, srv)
+	c.mustOK("SUB s1 temp > 30")
+	c.mustOK(`CQ c1 {"aggs":[{"alias":"n","kind":"count"}],"window":{"kind":"count","size":5}}`)
+	c.mustOK("QSUB jobs manual ")
+	if got := eng.Broker.Len(); got != base+3 {
+		t.Fatalf("broker len with live sinks = %d, want %d", got, base+3)
+	}
+	c.nc.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ConnCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// The qsub.jobs binding is queue-scoped and survives by design;
+	// the connection-scoped SUB and CQ registrations must be gone.
+	if got := eng.Broker.Len(); got != base+1 {
+		t.Fatalf("broker len after teardown = %d, want %d (qsub binding only)", got, base+1)
+	}
+}

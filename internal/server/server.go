@@ -4,9 +4,18 @@
 // can register subscriptions and continuous queries whose matches are
 // *pushed* to them as events arrive — the paper's extension of
 // traditional publish/subscribe with predicates stored and evaluated
-// inside the store (§2.2.c.i.2), finally reachable over the wire.
+// inside the store (§2.2.c.i.2) — and, since the command-plane
+// refactor, reach the database half of the engine: tables, DML that
+// fires triggers, one-shot queries, and watched queries, making all
+// three §2.2.a capture mechanisms exercisable over one connection.
 //
-// Requests (one per line; <id> is any token without spaces):
+// Every verb is an entry in a command registry (command.go): a name, a
+// declared argument shape, and a handler. The read loop below parses
+// the shared line framing and dispatches; no verb-specific logic lives
+// in it.
+//
+// Message plane (one request per line; <id> is any token without
+// spaces):
 //
 //	PUB <json-event>    → "OK <deliveries>" after rules+pubsub evaluation
 //	PUBB <n>            → next n lines are JSON events, batch-ingested
@@ -21,6 +30,29 @@
 //	STATS               → "OK sent=N dropped=N queued=N subs=N cqs=N qsubs=N"
 //	PING                → "PONG"
 //	QUIT                → closes the connection
+//
+// Database plane (dbcmds.go; specs are single-line JSON documents, see
+// internal/wiredb):
+//
+//	TABLE <json-spec>        → "OK"; creates a table
+//	INSERT <table> <json>    → "OK <rowid>"; the commit fires BEFORE
+//	                           triggers (which may veto → "ERR aborted")
+//	                           and AFTER triggers (whose captured
+//	                           "db.<table>.<op>" events fan out to every
+//	                           SUB/CQ/QSUB like any published event)
+//	UPDATE <table> <json>    → "OK <n>"; {"where":"qty < 5","set":{...}}
+//	DELETE <table> <json>    → "OK <n>"; {"where":"qty < 5"}
+//	SELECT <json-spec>       → "OK {"columns":[...],"rows":[[...]]}" —
+//	                           one-shot read through the query planner
+//	TRIG <name> <json-spec>  → "OK"; registers a trigger with optional
+//	                           WHEN guard over old./new. images and
+//	                           optional BEFORE veto
+//	UNTRIG <name>            → "OK"; drops it
+//	WATCH <name> <json-spec> → "OK"; schedules a repeatedly-evaluated
+//	                           query whose result-set diffs are ingested
+//	                           as "query.<name>.<added|removed|changed>"
+//	                           events
+//	UNWATCH <name>           → "OK"; stops polling
 //
 // Durable subscriptions stage matched events in a named, WAL-recovered
 // queue (internal/queue) instead of pushing fire-and-forget, so a
@@ -57,9 +89,11 @@
 //	                      "OK <count> <next-lsn>". Requires a durable
 //	                      engine (-dir).
 //
-// Replies are single lines in request order; errors are "ERR <message>".
-// Pushed "EVT"/"QEVT" lines interleave with replies at line
-// granularity — clients demultiplex on the line prefix.
+// Replies are single lines in request order; errors are
+// "ERR <code> <message>" where <code> is a stable token from the
+// taxonomy in errors.go (documented in ARCHITECTURE.md). Pushed
+// "EVT"/"QEVT" lines interleave with replies at line granularity —
+// clients demultiplex on the line prefix.
 //
 // # Backpressure
 //
@@ -78,16 +112,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eventdb/internal/core"
-	"eventdb/internal/cq"
 	"eventdb/internal/event"
-	"eventdb/internal/pubsub"
 	"eventdb/internal/queue"
 )
 
@@ -116,7 +147,8 @@ func (o Overflow) String() string {
 // Config tunes the server.
 type Config struct {
 	// MaxConns caps concurrent client connections; excess connections
-	// are refused with "ERR connection limit reached". 0 = unlimited.
+	// are refused with "ERR limit connection limit reached". 0 =
+	// unlimited.
 	MaxConns int
 	// SubBuffer is each connection's outbound queue capacity in lines
 	// (default 256).
@@ -133,6 +165,9 @@ type Config struct {
 	// durable consumer; delivery pauses until the client acks (default
 	// 256).
 	QueuePrefetch int
+	// WatchInterval is the default poll cadence for WATCHed queries
+	// whose spec does not set interval_ms (default 100ms).
+	WatchInterval time.Duration
 }
 
 const (
@@ -274,7 +309,7 @@ func (s *Server) acceptLoop() {
 		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
 			s.mu.Unlock()
 			s.eng.Metrics.Counter("server.refused").Inc()
-			fmt.Fprintf(nc, "ERR connection limit reached\n")
+			fmt.Fprintf(nc, "ERR %s connection limit reached\n", codeLimit)
 			nc.Close()
 			continue
 		}
@@ -304,11 +339,13 @@ func (s *Server) acceptLoop() {
 }
 
 // conn is one client connection: a reader goroutine parsing commands
-// and a writer goroutine draining the bounded outbound queue.
+// and a writer goroutine draining the bounded outbound queue. It is
+// the per-connection session state threaded through every handler.
 type conn struct {
 	srv        *Server
 	id         uint64
 	nc         net.Conn
+	br         *bufio.Reader // owned by the reader goroutine
 	out        chan string
 	stop       chan struct{} // closed at teardown; unblocks producers
 	writerDone chan struct{} // closed when the writer goroutine exits
@@ -427,11 +464,12 @@ func (c *conn) writeLoop() {
 	}
 }
 
-// readLoop parses commands until the connection errors or QUITs, then
-// tears the connection down: detach every sink first (broker
-// subscriptions stop pushing, durable consumers halt and hand back
-// their unacked deliveries), release producers and the writer, close
-// the socket, deregister.
+// readLoop reads command lines and dispatches each through the command
+// registry until the connection errors or a handler asks to close
+// (QUIT, loss of framing), then tears the connection down: detach
+// every sink first (broker subscriptions stop pushing, durable
+// consumers halt and hand back their unacked deliveries), release
+// producers and the writer, close the socket, deregister.
 func (c *conn) readLoop() {
 	defer func() {
 		c.mu.Lock()
@@ -457,131 +495,16 @@ func (c *conn) readLoop() {
 		delete(c.srv.conns, c)
 		c.srv.mu.Unlock()
 	}()
-	r := bufio.NewReaderSize(c.nc, 1<<16)
+	c.br = bufio.NewReaderSize(c.nc, 1<<16)
 	for {
-		line, err := r.ReadString('\n')
+		line, err := c.br.ReadString('\n')
 		if err != nil {
 			return
 		}
-		line = strings.TrimRight(line, "\r\n")
-		cmd, rest, _ := strings.Cut(line, " ")
-		switch strings.ToUpper(cmd) {
-		case "PING":
-			c.reply("PONG")
-		case "QUIT":
+		if !dispatch(c, strings.TrimRight(line, "\r\n")) {
 			return
-		case "PUB":
-			c.handlePub(rest)
-		case "PUBB":
-			if !c.handlePubBatch(r, rest) {
-				return
-			}
-		case "MATCH":
-			c.handleMatch(rest)
-		case "SUB":
-			c.handleSub(rest)
-		case "CQ":
-			c.handleCQ(rest)
-		case "QSUB":
-			c.handleQSub(rest)
-		case "CONSUME":
-			c.handleConsume(rest)
-		case "ACK":
-			c.handleAck(rest)
-		case "NACK":
-			c.handleNack(rest)
-		case "QSTATS":
-			c.handleQStats(rest)
-		case "REPLAY":
-			c.handleReplay(rest)
-		case "UNSUB":
-			c.handleUnsub(rest)
-		case "STATS":
-			c.handleStats()
-		default:
-			c.reply(fmt.Sprintf("ERR unknown command %q", cmd))
 		}
 	}
-}
-
-func (c *conn) handlePub(rest string) {
-	ev, err := event.UnmarshalJSONEvent([]byte(rest))
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	// Exact per-event delivery count on a synchronous engine; 0 on an
-	// async engine, where evaluation happens after the reply.
-	delivered, err := c.srv.eng.IngestCount(ev)
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	c.reply(fmt.Sprintf("OK %d", delivered))
-}
-
-// handlePubBatch reads the n event lines of a PUBB and ingests them as
-// one batch through the engine's sharded pipeline. All n lines are
-// consumed even on error, keeping the protocol in sync; it returns
-// false only when the connection itself failed.
-func (c *conn) handlePubBatch(r *bufio.Reader, rest string) bool {
-	n, err := strconv.Atoi(strings.TrimSpace(rest))
-	if err != nil {
-		// Unreadable count: the following lines can't be framed, so the
-		// connection must drop rather than misread events as commands.
-		c.reply(fmt.Sprintf("ERR bad batch size %q", rest))
-		return false
-	}
-	if n <= 0 || n > maxBatch {
-		// The count is known, so stay in sync by consuming the batch.
-		for i := 0; i < n; i++ {
-			if _, err := r.ReadString('\n'); err != nil {
-				return false
-			}
-		}
-		c.reply(fmt.Sprintf("ERR batch size %d out of range (want 1..%d)", n, maxBatch))
-		return true
-	}
-	evs := make([]*event.Event, 0, n)
-	var firstErr error
-	for i := 0; i < n; i++ {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return false
-		}
-		ev, err := event.UnmarshalJSONEvent([]byte(strings.TrimRight(line, "\r\n")))
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("event %d: %w", i, err)
-			}
-			continue
-		}
-		evs = append(evs, ev)
-	}
-	if firstErr != nil {
-		c.reply("ERR " + firstErr.Error())
-		return true
-	}
-	if err := c.srv.eng.IngestBatch(evs); err != nil {
-		c.reply("ERR " + err.Error())
-		return true
-	}
-	c.reply(fmt.Sprintf("OK %d", len(evs)))
-	return true
-}
-
-func (c *conn) handleMatch(rest string) {
-	ev, err := event.UnmarshalJSONEvent([]byte(rest))
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	ids, err := c.srv.eng.Broker.MatchOnly(ev)
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	c.reply("OK " + strings.Join(ids, ","))
 }
 
 // addSink registers a sink under a connection-local id, refusing
@@ -598,365 +521,9 @@ func (c *conn) addSink(localID string, s sink) bool {
 	return true
 }
 
-func (c *conn) handleSub(rest string) {
-	localID, filter, _ := strings.Cut(rest, " ")
-	if localID == "" {
-		c.reply("ERR SUB needs an id")
-		return
-	}
-	if c.hasSink(localID) {
-		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
-		return
-	}
-	bid := c.brokerID(localID)
-	err := c.srv.eng.Broker.Subscribe(bid, fmt.Sprintf("conn%d", c.id), filter,
-		func(d pubsub.Delivery) { c.pushEvent(localID, d.Event) })
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	if !c.addSink(localID, &subSink{c: c, brokerID: bid}) {
-		c.srv.eng.Broker.Unsubscribe(bid)
-		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
-		return
-	}
-	c.reply("OK")
-}
-
 func (c *conn) hasSink(localID string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	_, ok := c.sinks[localID]
 	return ok
-}
-
-func (c *conn) handleCQ(rest string) {
-	localID, spec, _ := strings.Cut(rest, " ")
-	if localID == "" || strings.TrimSpace(spec) == "" {
-		c.reply("ERR CQ needs an id and a JSON spec")
-		return
-	}
-	if c.hasSink(localID) {
-		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
-		return
-	}
-	def, err := cq.ParseSpec(localID, []byte(spec))
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	q, err := cq.New(def)
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	wq := &cqSink{c: c, q: q, brokerID: c.brokerID(localID)}
-	// The broker pre-filters with the CQ's own predicate, so the
-	// indexed subscription match does the heavy lifting and the CQ
-	// maintains windows only over relevant events.
-	err = c.srv.eng.Broker.Subscribe(wq.brokerID, fmt.Sprintf("conn%d", c.id), def.Filter,
-		func(d pubsub.Delivery) {
-			// The lock covers the pushes too: on a sharded engine two
-			// workers can feed this CQ back to back, and releasing
-			// between Feed and push would let a newer aggregate be
-			// enqueued before an older one, leaving the client with a
-			// stale "latest" result.
-			wq.mu.Lock()
-			defer wq.mu.Unlock()
-			outs, err := wq.q.Feed(d.Event)
-			if err != nil {
-				c.srv.eng.Metrics.Counter("server.cq.errors").Inc()
-				return
-			}
-			for _, out := range outs {
-				c.pushEvent(localID, out)
-			}
-		})
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	if !c.addSink(localID, wq) {
-		c.srv.eng.Broker.Unsubscribe(wq.brokerID)
-		c.reply(fmt.Sprintf("ERR id %q already in use", localID))
-		return
-	}
-	c.reply("OK")
-}
-
-// qsubBindID names the global broker binding that routes matches into
-// a durable queue. It is queue-scoped, not connection-scoped: the
-// binding (and the staged events behind it) outlives any one
-// connection — that is what makes the subscription durable.
-func qsubBindID(name string) string { return "qsub." + name }
-
-func (c *conn) handleQSub(rest string) {
-	name, rest, _ := strings.Cut(rest, " ")
-	mode, filter, _ := strings.Cut(rest, " ")
-	if name == "" {
-		c.reply("ERR QSUB needs a queue name")
-		return
-	}
-	var autoAck bool
-	switch mode {
-	case "auto":
-		autoAck = true
-	case "manual":
-	default:
-		c.reply(fmt.Sprintf("ERR QSUB ack mode %q (want auto or manual)", mode))
-		return
-	}
-	if c.hasSink(name) {
-		c.reply(fmt.Sprintf("ERR id %q already in use", name))
-		return
-	}
-	q, err := c.srv.eng.EnsureQueue(name, c.srv.cfg.Queue)
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	if err := c.bindQueue(name, filter); err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	qs := &queueSink{
-		c:        c,
-		name:     name,
-		q:        q,
-		autoAck:  autoAck,
-		prefetch: c.srv.cfg.QueuePrefetch,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		ackWake:  make(chan struct{}, 1),
-	}
-	if !c.addSink(name, qs) {
-		c.reply(fmt.Sprintf("ERR id %q already in use", name))
-		return
-	}
-	go qs.run()
-	c.reply("OK")
-}
-
-// bindQueue ensures the broker routes filter-matching events into the
-// named queue. A matching binding is reused (reconnect, competing
-// consumers); a different filter rebinds atomically — the binding is
-// never absent mid-rebind, and a broken filter leaves it untouched.
-func (c *conn) bindQueue(name, filter string) error {
-	bid := qsubBindID(name)
-	broker := c.srv.eng.Broker
-	if _, ok := broker.FilterOf(bid); ok {
-		return broker.Rebind(bid, filter)
-	}
-	err := c.srv.eng.SubscribeQueue(bid, "wire", filter, name, 0)
-	if err != nil {
-		// Lost a bind race with another connection: fine if it
-		// installed the same filter.
-		if f, ok := broker.FilterOf(bid); ok && f == filter {
-			return nil
-		}
-		return err
-	}
-	return nil
-}
-
-// lookupQueue finds an attached queue, or attaches to its recovered
-// table. Unlike QSUB it never creates: pulling from a queue that was
-// never bound is a client mistake worth surfacing.
-func (c *conn) lookupQueue(name string) (*queue.Queue, error) {
-	if q, ok := c.srv.eng.Queues.Get(name); ok {
-		return q, nil
-	}
-	return c.srv.eng.Queues.Open(name, c.srv.cfg.Queue)
-}
-
-// qevtLine renders one durable delivery.
-func qevtLine(name, token string, attempt int, data []byte) string {
-	return "QEVT " + name + " " + token + " " + strconv.Itoa(attempt) + " " + string(data)
-}
-
-// receiptToken renders the wire receipt for one delivery attempt.
-func receiptToken(id int64, attempt int) string {
-	return strconv.FormatInt(id, 10) + "-" + strconv.Itoa(attempt)
-}
-
-func (c *conn) handleConsume(rest string) {
-	name, maxStr, _ := strings.Cut(rest, " ")
-	max, err := strconv.Atoi(strings.TrimSpace(maxStr))
-	if name == "" || err != nil || max <= 0 {
-		c.reply("ERR CONSUME needs a queue name and a positive max")
-		return
-	}
-	if max > maxBatch {
-		// Same bound as PUBB: one command must not make the server
-		// buffer an entire (arbitrarily deep) queue in memory.
-		c.reply(fmt.Sprintf("ERR CONSUME max %d out of range (want 1..%d)", max, maxBatch))
-		return
-	}
-	q, err := c.lookupQueue(name)
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	consumer := fmt.Sprintf("conn%d", c.id)
-	var lines []string
-	var tokens []string
-	for len(lines) < max {
-		msg, ok, err := q.Dequeue(consumer)
-		if err != nil {
-			// Hand back what this command already claimed: the client
-			// gets only ERR and has no tokens to settle with.
-			for _, tok := range tokens {
-				if r, ok := c.takeReceipt(name, tok); ok {
-					q.Release(r)
-				}
-			}
-			c.reply("ERR " + err.Error())
-			return
-		}
-		if !ok {
-			break
-		}
-		data, err := event.MarshalJSONEvent(msg.Event)
-		if err != nil {
-			// Poison message: Nack so attempts burn down to the dead
-			// letter instead of Release looping it back to the head of
-			// the queue forever.
-			c.srv.eng.Metrics.Counter("server.push.encode_errors").Inc()
-			q.Nack(msg.Receipt, 0)
-			continue
-		}
-		token := receiptToken(msg.Receipt.ID, msg.Attempt)
-		c.trackReceipt(name, token, msg.Receipt, nil)
-		tokens = append(tokens, token)
-		lines = append(lines, qevtLine(name, token, msg.Attempt, data))
-	}
-	// Reply first, then the batch: both flow through the outbound
-	// queue in order, so the client sees "OK <n>" followed by exactly
-	// n QEVT lines (interleaved pushes for other sinks aside).
-	c.reply(fmt.Sprintf("OK %d", len(lines)))
-	for _, line := range lines {
-		c.reply(line)
-	}
-}
-
-func (c *conn) handleAck(rest string) {
-	name, token, _ := strings.Cut(rest, " ")
-	token = strings.TrimSpace(token)
-	r, ok := c.takeReceipt(name, token)
-	if !ok {
-		c.reply(fmt.Sprintf("ERR no outstanding delivery %q on queue %q", token, name))
-		return
-	}
-	q, ok := c.srv.eng.Queues.Get(name)
-	if !ok {
-		c.reply(fmt.Sprintf("ERR no queue %q", name))
-		return
-	}
-	if err := q.Ack(r); err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	c.signalAck(name)
-	c.reply("OK")
-}
-
-func (c *conn) handleNack(rest string) {
-	name, rest2, _ := strings.Cut(rest, " ")
-	token, delayStr, _ := strings.Cut(rest2, " ")
-	delayMS, err := strconv.Atoi(strings.TrimSpace(delayStr))
-	if err != nil || delayMS < 0 {
-		c.reply("ERR NACK needs a non-negative delay in milliseconds")
-		return
-	}
-	r, ok := c.takeReceipt(name, token)
-	if !ok {
-		c.reply(fmt.Sprintf("ERR no outstanding delivery %q on queue %q", token, name))
-		return
-	}
-	q, ok := c.srv.eng.Queues.Get(name)
-	if !ok {
-		c.reply(fmt.Sprintf("ERR no queue %q", name))
-		return
-	}
-	if err := q.Nack(r, time.Duration(delayMS)*time.Millisecond); err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	c.signalAck(name)
-	c.reply("OK")
-}
-
-func (c *conn) handleQStats(rest string) {
-	name := strings.TrimSpace(rest)
-	q, err := c.lookupQueue(name)
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	st := q.Stats()
-	c.reply(fmt.Sprintf("OK ready=%d inflight=%d dead=%d outstanding=%d",
-		st.Ready, st.Inflight, st.Dead, c.outstanding(name)))
-}
-
-// handleReplay backfills history: every message ever staged into the
-// queue from the given WAL position is pushed as a QEVT line with a
-// historical receipt ("h<lsn>", attempt 0, not ackable), followed by
-// "OK <count> <next-lsn>". Replay lines use the blocking reply path —
-// they are request-bounded, and history must not be silently dropped.
-func (c *conn) handleReplay(rest string) {
-	name, fromStr, _ := strings.Cut(rest, " ")
-	fromLSN, err := strconv.ParseUint(strings.TrimSpace(fromStr), 10, 64)
-	if name == "" || err != nil {
-		c.reply("ERR REPLAY needs a queue name and a starting LSN")
-		return
-	}
-	next, n, err := c.srv.eng.ReplayQueue(name, fromLSN, func(ev *event.Event, lsn uint64, _ int64) error {
-		data, err := event.MarshalJSONEvent(ev)
-		if err != nil {
-			return err
-		}
-		c.reply(qevtLine(name, "h"+strconv.FormatUint(lsn, 10), 0, data))
-		return nil
-	})
-	if err != nil {
-		c.reply("ERR " + err.Error())
-		return
-	}
-	c.srv.eng.Metrics.Counter("server.replay.events").Add(uint64(n))
-	c.reply(fmt.Sprintf("OK %d %d", n, next))
-}
-
-func (c *conn) handleUnsub(rest string) {
-	localID := strings.TrimSpace(rest)
-	c.mu.Lock()
-	s, ok := c.sinks[localID]
-	delete(c.sinks, localID)
-	c.mu.Unlock()
-	if !ok {
-		c.reply(fmt.Sprintf("ERR no subscription %q", localID))
-		return
-	}
-	// For a durable consumer this stops delivery to this connection and
-	// releases its unacked messages; the queue, its staged events, and
-	// the broker binding all survive for the next attach.
-	s.detach()
-	c.reply("OK")
-}
-
-func (c *conn) handleStats() {
-	var subs, cqs, qsubs int
-	c.mu.Lock()
-	for _, s := range c.sinks {
-		switch s.kind() {
-		case "sub":
-			subs++
-		case "cq":
-			cqs++
-		case "qsub":
-			qsubs++
-		}
-	}
-	c.mu.Unlock()
-	c.reply(fmt.Sprintf("OK sent=%d dropped=%d queued=%d subs=%d cqs=%d qsubs=%d",
-		c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs))
 }

@@ -293,14 +293,20 @@ func TestRawProtocolErrors(t *testing.T) {
 		}
 		return strings.TrimRight(line, "\n")
 	}
+	// Every error reply is "ERR <code> <message>" with a stable code
+	// from the taxonomy in errors.go.
 	for req, wantPrefix := range map[string]string{
-		"PUB {not json": "ERR ",
-		"BOGUS":         "ERR unknown command",
-		"SUB":           "ERR SUB needs",
-		"UNSUB nope":    "ERR no subscription",
-		"CQ x":          "ERR CQ needs",
-		"PUBB 0":        "ERR batch size",
-		"PING":          "PONG",
+		"PUB {not json":   "ERR badjson ",
+		"BOGUS":           "ERR unknown ",
+		"SUB":             "ERR badargs ",
+		"UNSUB nope":      "ERR nosub ",
+		"CQ x":            "ERR badargs ",
+		"PUBB 0":          "ERR toobig ",
+		"PING extra junk": "ERR badargs ",
+		"INSERT nope {}":  "ERR notable ",
+		"UNTRIG nope":     "ERR notrig ",
+		"UNWATCH nope":    "ERR nowatch ",
+		"PING":            "PONG",
 	} {
 		if got := ask(req); !strings.HasPrefix(got, wantPrefix) {
 			t.Errorf("%s → %q, want prefix %q", req, got, wantPrefix)
@@ -308,7 +314,7 @@ func TestRawProtocolErrors(t *testing.T) {
 	}
 	// An unparseable PUBB count must drop the connection (framing lost).
 	fmt.Fprintf(nc, "PUBB garbage\n")
-	if line, _ := br.ReadString('\n'); !strings.HasPrefix(line, "ERR bad batch size") {
+	if line, _ := br.ReadString('\n'); !strings.HasPrefix(line, "ERR badargs ") {
 		t.Errorf("PUBB garbage → %q", line)
 	}
 	nc.SetReadDeadline(time.Now().Add(5 * time.Second))

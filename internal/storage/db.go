@@ -207,12 +207,16 @@ func (db *DB) Sync() error {
 	return nil
 }
 
+// ErrExists wraps creation of an object that already exists, so
+// callers can distinguish a name collision from other failures.
+var ErrExists = errors.New("storage: already exists")
+
 // CreateTable registers a new table.
 func (db *DB) CreateTable(s *Schema) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, exists := db.tables[s.Name]; exists {
-		return fmt.Errorf("storage: table %q already exists", s.Name)
+		return fmt.Errorf("%w: table %q", ErrExists, s.Name)
 	}
 	if db.log != nil {
 		if _, err := db.log.Append(recCreateTable, encodeSchema(nil, s)); err != nil {

@@ -130,6 +130,10 @@ func (m *Manager) Close() {
 	}
 }
 
+// ErrExists wraps registration under a name already in use, so
+// callers can distinguish the collision from spec failures.
+var ErrExists = errors.New("trigger: already registered")
+
 // Register installs a trigger.
 func (m *Manager) Register(def Def) (*Trigger, error) {
 	if def.Name == "" || def.Table == "" {
@@ -159,7 +163,7 @@ func (m *Manager) Register(def Def) (*Trigger, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.triggers[def.Name]; dup {
-		return nil, fmt.Errorf("trigger: %q already registered", def.Name)
+		return nil, fmt.Errorf("%w: %q", ErrExists, def.Name)
 	}
 	m.triggers[def.Name] = tr
 	if def.Timing == Before {

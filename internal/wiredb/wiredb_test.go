@@ -1,0 +1,236 @@
+package wiredb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"eventdb/internal/storage"
+	"eventdb/internal/trigger"
+	"eventdb/internal/val"
+)
+
+func testDB(t *testing.T) *storage.DB {
+	t.Helper()
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	schema, err := ParseTableSpec([]byte(`{
+		"name": "stock",
+		"columns": [
+			{"name": "sku", "kind": "string", "notnull": true},
+			{"name": "qty", "kind": "int", "notnull": true},
+			{"name": "price", "kind": "float", "default": 1.5},
+			{"name": "seen", "kind": "time"}
+		],
+		"key": ["sku"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParseTableSpec(t *testing.T) {
+	db := testDB(t)
+	tbl, ok := db.Table("stock")
+	if !ok {
+		t.Fatal("table missing")
+	}
+	s := tbl.Schema()
+	if s.Columns[2].Kind != val.KindFloat {
+		t.Errorf("price kind = %s", s.Columns[2].Kind)
+	}
+	if f, _ := s.Columns[2].Default.AsFloat(); f != 1.5 {
+		t.Errorf("price default = %v", s.Columns[2].Default)
+	}
+	if !s.HasPrimaryKey() {
+		t.Error("primary key lost")
+	}
+	for _, bad := range []string{
+		`{"name":"x","columns":[{"name":"a","kind":"wat"}]}`,
+		`{"name":"","columns":[{"name":"a","kind":"int"}]}`,
+		`{"name":"x","columns":[],"unknown_field":1}`,
+	} {
+		if _, err := ParseTableSpec([]byte(bad)); err == nil {
+			t.Errorf("accepted %s", bad)
+		}
+	}
+}
+
+func TestValuesCoercion(t *testing.T) {
+	db := testDB(t)
+	tbl, _ := db.Table("stock")
+	vals, err := Values(tbl.Schema(), map[string]any{
+		"sku":   "w",
+		"qty":   float64(7), // JSON number
+		"price": float64(2), // integral JSON number into a float column
+		"seen":  "2026-07-30T12:00:00Z",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := vals["qty"].AsInt(); n != 7 {
+		t.Errorf("qty = %v", vals["qty"])
+	}
+	if vals["price"].Kind() != val.KindFloat {
+		t.Errorf("price kind = %s", vals["price"].Kind())
+	}
+	ts, ok := vals["seen"].AsTime()
+	if !ok || !ts.Equal(time.Date(2026, 7, 30, 12, 0, 0, 0, time.UTC)) {
+		t.Errorf("seen = %v", vals["seen"])
+	}
+	if _, err := Values(tbl.Schema(), map[string]any{"nope": 1}); !errors.Is(err, ErrSpec) {
+		t.Errorf("unknown column error = %v", err)
+	}
+	if _, err := Values(tbl.Schema(), map[string]any{"seen": "not a time"}); !errors.Is(err, ErrSpec) {
+		t.Errorf("bad time error = %v", err)
+	}
+}
+
+func TestDMLHelpers(t *testing.T) {
+	db := testDB(t)
+	for i, sku := range []string{"a", "b", "c"} {
+		if _, err := InsertRow(db, "stock", map[string]any{"sku": sku, "qty": float64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := UpdateWhere(db, "stock", "qty >= 10", map[string]any{"qty": float64(99)})
+	if err != nil || n != 2 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	n, err = DeleteWhere(db, "stock", "qty = 99")
+	if err != nil || n != 2 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	tbl, _ := db.Table("stock")
+	if tbl.Len() != 1 {
+		t.Fatalf("rows left = %d", tbl.Len())
+	}
+	// Predicate compile failures classify as spec errors; missing
+	// tables as table errors.
+	if _, err := UpdateWhere(db, "stock", "qty >>> 1", map[string]any{"qty": 0}); !errors.Is(err, ErrSpec) {
+		t.Errorf("bad where error = %v", err)
+	}
+	if _, err := DeleteWhere(db, "missing", ""); !errors.Is(err, ErrNoTable) {
+		t.Errorf("missing table error = %v", err)
+	}
+	// A no-match where is n=0, not an error.
+	if n, err := DeleteWhere(db, "stock", "qty = 12345"); err != nil || n != 0 {
+		t.Errorf("no-match delete = %d, %v", n, err)
+	}
+}
+
+func TestQuerySpecAndResultRoundTrip(t *testing.T) {
+	db := testDB(t)
+	for i, sku := range []string{"a", "b", "c"} {
+		if _, err := InsertRow(db, "stock", map[string]any{"sku": sku, "qty": float64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec, err := ParseQuerySpec([]byte(`{
+		"table": "stock", "where": "qty > 0",
+		"select": ["sku", "qty"],
+		"order": [{"col": "qty", "desc": true}],
+		"limit": 1
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsRune(string(data), '\n') {
+		t.Fatal("result not single-line")
+	}
+	back, err := ParseResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 1 || back.Rows[0][0] != "c" || back.Rows[0][1] != int64(20) {
+		t.Fatalf("round-tripped result = %+v", back)
+	}
+
+	// Aggregates build too.
+	agg, err := ParseQuerySpec([]byte(`{"table":"stock","aggs":[{"alias":"n","kind":"count"},{"alias":"total","kind":"sum","col":"qty"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err = agg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = q.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Get(0, "total"); !ok || v.String() != "30" {
+		t.Fatalf("sum = %v", v)
+	}
+	if _, err := (QuerySpec{}).Build(); err == nil {
+		t.Error("empty spec built")
+	}
+	if _, err := (QuerySpec{Table: "t", Aggs: []AggSpec{{Kind: "wat"}}}).Build(); err == nil {
+		t.Error("unknown aggregate built")
+	}
+}
+
+func TestTriggerSpec(t *testing.T) {
+	spec, err := ParseTriggerSpec([]byte(`{"table":"t","timing":"before","ops":["update"],"when":"new.a < old.a","veto":"shrinking"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := spec.Def("guard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Timing != trigger.Before || len(def.Ops) != 1 || def.Ops[0] != storage.Update {
+		t.Fatalf("def = %+v", def)
+	}
+	if def.Action == nil {
+		t.Fatal("veto action missing")
+	}
+	if err := def.Action(nil); err == nil || err.Error() != "shrinking" {
+		t.Fatalf("veto action error = %v", err)
+	}
+	// Veto demands a BEFORE trigger; unknown timings and ops fail.
+	for _, bad := range []TriggerSpec{
+		{Table: "t", Veto: "nope"},
+		{Table: "t", Timing: "sometimes"},
+		{Table: "t", Ops: []string{"upsert"}},
+	} {
+		if _, err := bad.Def("x"); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestWatchSpecValidation(t *testing.T) {
+	if _, err := ParseWatchSpec([]byte(`{"query":{"table":"t"},"key":["a"],"interval_ms":50}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		`{"query":{"table":"t"}}`,
+		`{"query":{"table":"t"},"key":[],"interval_ms":5}`,
+		`{"query":{"table":"t"},"key":["a"],"interval_ms":-1}`,
+	} {
+		if _, err := ParseWatchSpec([]byte(bad)); err == nil {
+			t.Errorf("accepted %s", bad)
+		}
+	}
+}
