@@ -1124,3 +1124,219 @@ func BenchmarkE16WireDirectPub(b *testing.B) {
 		b.Fatalf("dropped %d pushes client-side", d)
 	}
 }
+
+// --- E17: zero-copy fan-out --------------------------------------------
+
+// e17Event builds one fresh fan-out event (fresh so the encode-once
+// cache starts cold, as it does for every newly-ingested event).
+func e17Event(i int) *event.Event {
+	return event.New("trade", map[string]any{
+		"sym":   fmt.Sprintf("S%d", i%64),
+		"price": float64(i%1000) + 0.5,
+		"qty":   i,
+		"venue": "XNYS",
+	})
+}
+
+// e17RenderLine builds the wire line one sink pays per delivery.
+func e17RenderLine(buf []byte, data []byte) []byte {
+	buf = append(buf[:0], "EVT sub "...)
+	return append(buf, data...)
+}
+
+// BenchmarkE17FanoutEncodeOnce measures 1-event→64-sink fan-out with
+// the encode-once cache: the payload is marshaled once per event and
+// every sink shares it, paying only a line build. Compare with
+// BenchmarkE17FanoutPerSinkMarshal — the pre-change delivery cost —
+// for the §2.2.c scalability claim carried through to delivery:
+// fan-out is O(1 encode + N writes), not O(N encodes).
+func BenchmarkE17FanoutEncodeOnce(b *testing.B) {
+	const sinks = 64
+	evs := make([]*event.Event, b.N)
+	for i := range evs {
+		evs[i] = e17Event(i)
+	}
+	var buf []byte
+	var bytesOut int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < sinks; s++ {
+			data, err := evs[i].EncodedJSON()
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = e17RenderLine(buf, data)
+			bytesOut += len(buf)
+		}
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, b.N)
+	_ = bytesOut
+}
+
+// BenchmarkE17FanoutPerSinkMarshal is the pre-change baseline: every
+// sink re-marshals the event, as conn.pushEvent did before the
+// encode-once cache.
+func BenchmarkE17FanoutPerSinkMarshal(b *testing.B) {
+	const sinks = 64
+	evs := make([]*event.Event, b.N)
+	for i := range evs {
+		evs[i] = e17Event(i)
+	}
+	var buf []byte
+	var bytesOut int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < sinks; s++ {
+			data, err := event.MarshalJSONEvent(evs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = e17RenderLine(buf, data)
+			bytesOut += len(buf)
+		}
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, b.N)
+	_ = bytesOut
+}
+
+// e17QueueFanout builds a durable (fsync-per-commit) broker fanning
+// one event into n queue-backed subscriptions.
+func e17QueueFanout(b *testing.B, n int) (*pubsub.Broker, []*queue.Queue) {
+	b.Helper()
+	db, err := storage.Open(storage.Options{Dir: b.TempDir(), SyncEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	qm := queue.NewManager(db)
+	b.Cleanup(qm.Close)
+	br := pubsub.NewBroker()
+	qs := make([]*queue.Queue, n)
+	for i := 0; i < n; i++ {
+		q, err := qm.Create(fmt.Sprintf("q%d", i), queue.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := br.SubscribeQueue(fmt.Sprintf("qs%d", i), "bench", "", q, 0); err != nil {
+			b.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return br, qs
+}
+
+// BenchmarkE17QueueGroupCommit measures durable fan-out with group
+// commit: one event matching 16 queue-backed subscriptions stages all
+// 16 messages under a single transaction — one WAL append, one fsync.
+func BenchmarkE17QueueGroupCommit(b *testing.B) {
+	const sinks = 16
+	br, _ := e17QueueFanout(b, sinks)
+	p := br.NewPublisher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := p.Publish(e17Event(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != sinks {
+			b.Fatalf("delivered %d, want %d", n, sinks)
+		}
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, b.N)
+}
+
+// BenchmarkE17QueuePerMessageCommit is the pre-change baseline: the
+// same durable fan-out paying one transaction (and one fsync) per
+// queue delivery.
+func BenchmarkE17QueuePerMessageCommit(b *testing.B) {
+	const sinks = 16
+	_, qs := e17QueueFanout(b, sinks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e17Event(i)
+		for _, q := range qs {
+			if _, err := q.Enqueue(ev, queue.EnqueueOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, b.N)
+}
+
+// BenchmarkE17WireFanout is the end-to-end check: one published event
+// pushed to 64 subscriber connections over TCP, encode-once cache and
+// coalesced writer included.
+func BenchmarkE17WireFanout(b *testing.B) {
+	const sinks = 64
+	eng, err := core.Open(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	subs := make([]*client.Subscription, sinks)
+	for i := range subs {
+		c, err := client.Dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		sub, err := c.Subscribe("s", "", 8192)
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	pub := e15Publisher(b, srv)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, sub := range subs {
+		wg.Add(1)
+		go func(sub *client.Subscription) {
+			defer wg.Done()
+			// Drain tolerating client-side drops: a dropped push never
+			// arrives, so waiting for exactly b.N events would hang the
+			// benchmark if one consumer goroutine ever falls behind its
+			// channel buffer.
+			received := 0
+			for received < b.N {
+				select {
+				case _, ok := <-sub.C:
+					if !ok {
+						b.Error("subscription closed")
+						return
+					}
+					received++
+				case <-time.After(100 * time.Millisecond):
+					if received+int(sub.Dropped()) >= b.N {
+						return
+					}
+				}
+			}
+		}(sub)
+	}
+	e15Publish(b, pub, b.N)
+	wg.Wait()
+	b.StopTimer()
+	reportEventsPerSec(b, b.N)
+}
+
+// reportEventsPerSec attaches an events/sec metric alongside ns/op.
+func reportEventsPerSec(b *testing.B, events int) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}

@@ -1,16 +1,23 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E16 from DESIGN.md, each checking a claim
+// one table per experiment E1–E17 from DESIGN.md, each checking a claim
 // of the tutorial. Run with -quick for smaller sweeps; -shards and
 // -batch pin the E13 pipeline sweep to one configuration; -subs sets
 // the E14 wire-subscriber count and -net points E14's streaming half
 // at an already-running eventdbd instead of an in-process server.
+//
+// -json <path> additionally writes the headline measurements as
+// machine-readable JSON (benchmark name → ns/op, allocs/op,
+// events/sec) so the perf trajectory can be tracked PR-over-PR; CI
+// uploads it as BENCH.json next to the benchmark-rot output.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +48,7 @@ var (
 	batchArg  = flag.Int("batch", 256, "E13/E14: ingest batch size")
 	subsArg   = flag.Int("subs", 4, "E14: wire subscriber connections")
 	netArg    = flag.String("net", "", "E14: address of a running eventdbd (empty = in-process server)")
+	jsonArg   = flag.String("json", "", "write machine-readable results (BENCH.json) to this path")
 )
 
 func main() {
@@ -61,6 +69,8 @@ func main() {
 	e14()
 	e15()
 	e16()
+	e17()
+	writeJSON()
 }
 
 // rate times n iterations of f and returns ops/sec and ns/op.
@@ -71,6 +81,52 @@ func rate(n int, f func(i int)) (opsPerSec float64, nsPerOp float64) {
 	}
 	el := time.Since(start)
 	return float64(n) / el.Seconds(), float64(el.Nanoseconds()) / float64(n)
+}
+
+// benchResult is one -json record: the machine-readable form of a
+// table row, tracked PR-over-PR as BENCH.json.
+type benchResult struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+var results = map[string]benchResult{}
+
+// record registers one named measurement for -json output. Names are
+// stable dotted paths ("e17.fanout.encode_once.64") so trajectories
+// can be diffed across commits.
+func record(name string, nsPerOp, allocsPerOp, eventsPerSec float64) {
+	results[name] = benchResult{NsPerOp: nsPerOp, AllocsPerOp: allocsPerOp, EventsPerSec: eventsPerSec}
+}
+
+// measured is rate plus allocation accounting and -json recording.
+// The allocation delta comes from process-wide runtime.MemStats, so it
+// is only meaningful for single-goroutine measurements; experiments
+// with concurrent servers or shard workers record allocs as 0 via
+// record() instead of going through measured.
+func measured(name string, n int, f func(i int)) (opsPerSec, nsPerOp float64) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	ops, ns := rate(n, f)
+	runtime.ReadMemStats(&m1)
+	record(name, ns, float64(m1.Mallocs-m0.Mallocs)/float64(n), ops)
+	return ops, ns
+}
+
+// writeJSON emits the collected measurements to -json.
+func writeJSON() {
+	if *jsonArg == "" {
+		return
+	}
+	out := struct {
+		Quick   bool                   `json:"quick"`
+		Results map[string]benchResult `json:"results"`
+	}{Quick: *quick, Results: results}
+	data, err := json.MarshalIndent(out, "", "  ")
+	must(err)
+	must(os.WriteFile(*jsonArg, append(data, '\n'), 0o644))
+	fmt.Fprintf(os.Stderr, "edabench: wrote %d results to %s\n", len(results), *jsonArg)
 }
 
 func header(id, claim string) {
@@ -123,7 +179,7 @@ func e1() {
 
 	db0 := freshDB("")
 	must(db0.CreateTable(tradeSchema()))
-	base, baseNs := rate(N, func(i int) { db0.Insert("trades", row(i)) })
+	base, baseNs := measured("e1.insert.baseline", N, func(i int) { db0.Insert("trades", row(i)) })
 	db0.Close()
 	fmt.Printf("| none (baseline) | %.0f | — |\n", base)
 
@@ -133,7 +189,7 @@ func e1() {
 	tm := trigger.NewManager(db1, func(*event.Event) { captured++ })
 	_, err := tm.Register(trigger.Def{Name: "cap", Table: "trades", Timing: trigger.After})
 	must(err)
-	trig, trigNs := rate(N, func(i int) { db1.Insert("trades", row(i)) })
+	trig, trigNs := measured("e1.insert.trigger", N, func(i int) { db1.Insert("trades", row(i)) })
 	tm.Close()
 	db1.Close()
 	fmt.Printf("| trigger | %.0f | +%.0f ns |\n", trig, trigNs-baseNs)
@@ -141,7 +197,7 @@ func e1() {
 	db2 := freshDB("")
 	must(db2.CreateTable(tradeSchema()))
 	sub := journal.NewMiner(db2).Tail(journal.Filter{}, N+1024)
-	jr, jrNs := rate(N, func(i int) { db2.Insert("trades", row(i)) })
+	jr, jrNs := measured("e1.insert.journal_tail", N, func(i int) { db2.Insert("trades", row(i)) })
 	sub.Cancel()
 	db2.Close()
 	fmt.Printf("| journal tail | %.0f | +%.0f ns |\n", jr, jrNs-baseNs)
@@ -151,7 +207,7 @@ func e1() {
 	d := query.NewDiffer("hot", query.New("trades").Where("price > 990").Select("sym", "price", "qty"), db3, "qty")
 	_, err = d.Poll()
 	must(err)
-	qd, qdNs := rate(N/10, func(i int) {
+	qd, qdNs := measured("e1.insert.query_diff", N/10, func(i int) {
 		db3.Insert("trades", row(i))
 		_, err := d.Poll()
 		must(err)
@@ -165,7 +221,7 @@ func e2() {
 	N := n(30000, 3000)
 	fmt.Println("| configuration | ops/sec | ns/op |")
 	fmt.Println("|---|---|---|")
-	run := func(name, dir string, batch int) {
+	run := func(name, key, dir string, batch int) {
 		db := freshDB(dir)
 		qm := queue.NewManager(db)
 		q, err := qm.Create("bench", queue.Config{})
@@ -189,24 +245,25 @@ func e2() {
 			_, err := txn.Commit()
 			must(err)
 		})
+		record(key, ns/float64(batch), 0, ops*float64(batch))
 		fmt.Printf("| %s | %.0f | %.0f |\n", name, ops*float64(batch), ns/float64(batch))
 		qm.Close()
 		db.Close()
 	}
-	run("enqueue, volatile", "", 1)
+	run("enqueue, volatile", "e2.enqueue.volatile", "", 1)
 	dir, err := os.MkdirTemp("", "edabench-*")
 	must(err)
 	defer os.RemoveAll(dir)
-	run("enqueue, durable (WAL)", dir, 1)
-	run("enqueue batch=16, volatile", "", 16)
-	run("enqueue batch=256, volatile", "", 256)
+	run("enqueue, durable (WAL)", "e2.enqueue.durable", dir, 1)
+	run("enqueue batch=16, volatile", "e2.enqueue.batch16", "", 16)
+	run("enqueue batch=256, volatile", "e2.enqueue.batch256", "", 256)
 
 	db := freshDB("")
 	qm := queue.NewManager(db)
 	q, err := qm.Create("rt", queue.Config{})
 	must(err)
 	ev := event.New("e", map[string]any{"n": 1})
-	ops, ns := rate(N, func(i int) {
+	ops, ns := measured("e2.roundtrip.volatile", N, func(i int) {
 		_, err := q.Enqueue(ev, queue.EnqueueOptions{})
 		must(err)
 		msg, ok, err := q.Dequeue("c")
@@ -220,12 +277,12 @@ func e2() {
 	db.Close()
 }
 
-func matchTable(kind string, sizes []int, naiveCap int, setup func(indexed bool, size int) func()) {
+func matchTable(kind, key string, sizes []int, naiveCap int, setup func(indexed bool, size int) func()) {
 	fmt.Printf("| %s | indexed ns/match | naive ns/match | speedup |\n", kind)
 	fmt.Println("|---|---|---|---|")
 	for _, size := range sizes {
 		probeI := setup(true, size)
-		_, nsI := rate(n(20000, 2000), func(int) { probeI() })
+		_, nsI := measured(fmt.Sprintf("%s.indexed.%d", key, size), n(20000, 2000), func(int) { probeI() })
 		naiveNs := 0.0
 		if size <= naiveCap {
 			probeN := setup(false, size)
@@ -233,7 +290,7 @@ func matchTable(kind string, sizes []int, naiveCap int, setup func(indexed bool,
 			if size >= 10000 {
 				reps = n(200, 50)
 			}
-			_, naiveNs = rate(reps, func(int) { probeN() })
+			_, naiveNs = measured(fmt.Sprintf("%s.naive.%d", key, size), reps, func(int) { probeN() })
 			fmt.Printf("| %d | %.0f | %.0f | %.1fx |\n", size, nsI, naiveNs, naiveNs/nsI)
 		} else {
 			fmt.Printf("| %d | %.0f | (skipped) | — |\n", size, nsI)
@@ -247,7 +304,7 @@ func e3() {
 	if *quick {
 		sizes = []int{100, 1000, 10000}
 	}
-	matchTable("subscriptions", sizes, 10000, func(indexed bool, size int) func() {
+	matchTable("subscriptions", "e3.match", sizes, 10000, func(indexed bool, size int) func() {
 		var br *pubsub.Broker
 		if indexed {
 			br = pubsub.NewBroker()
@@ -272,7 +329,7 @@ func e4() {
 	if *quick {
 		sizes = []int{100, 1000, 10000}
 	}
-	matchTable("rules", sizes, 10000, func(indexed bool, size int) func() {
+	matchTable("rules", "e4.match", sizes, 10000, func(indexed bool, size int) func() {
 		e := rules.NewEngine(rules.Options{Indexed: indexed})
 		for i := 0; i < size; i++ {
 			cond := fmt.Sprintf("site = 'site%d' AND level >= %d", i%1000, i%10)
@@ -494,7 +551,7 @@ func e11() {
 		must(eng.AddRule(fmt.Sprintf("r%d", i), fmt.Sprintf("sym = 'S%d'", i), 0, nil))
 	}
 	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
-	_, internalNs := rate(n(100000, 10000), func(int) { must(eng.Ingest(ev)) })
+	_, internalNs := measured("e11.ingest.internal", n(100000, 10000), func(int) { must(eng.Ingest(ev)) })
 
 	srv, err := server.Start(eng, "127.0.0.1:0")
 	must(err)
@@ -502,10 +559,13 @@ func e11() {
 	c, err := client.Dial(srv.Addr())
 	must(err)
 	defer c.Close()
-	_, externalNs := rate(n(20000, 2000), func(int) {
+	// rate+record, not measured: the server's goroutines allocate
+	// concurrently, so a Mallocs delta here would be noise.
+	extOps, externalNs := rate(n(20000, 2000), func(int) {
 		_, err := c.Publish(ev)
 		must(err)
 	})
+	record("e11.ingest.external", externalNs, 0, extOps)
 	fmt.Println("| path | ns/event | ratio |")
 	fmt.Println("|---|---|---|")
 	fmt.Printf("| internal (in-engine) | %.0f | 1.0x |\n", internalNs)
@@ -616,7 +676,7 @@ func e13() {
 
 	// Baseline: one goroutine, one event at a time, fully synchronous.
 	eng, delivered := e13Engine(0)
-	base, _ := rate(N, func(i int) { must(eng.Ingest(evs[i])) })
+	base, _ := measured("e13.sync_ingest", N, func(i int) { must(eng.Ingest(evs[i])) })
 	eng.Close()
 	fmt.Printf("| sync Ingest | 0 | 1 | %.0f | 1.0x | %d |\n", base, delivered.Load())
 
@@ -624,6 +684,7 @@ func e13() {
 	eng, delivered = e13Engine(0)
 	bt := throughput(eng, 1)
 	eng.Close()
+	record("e13.sync_batch", 1e9/bt, 0, bt)
 	fmt.Printf("| sync IngestBatch(%d) | 0 | 1 | %.0f | %.1fx | %d |\n",
 		batch, bt, bt/base, delivered.Load())
 
@@ -639,6 +700,7 @@ func e13() {
 		eng, delivered = e13Engine(shards)
 		tp := throughput(eng, producers)
 		eng.Close()
+		record(fmt.Sprintf("e13.async.shards%d", shards), 1e9/tp, 0, tp)
 		// The delivered column doubles as a losslessness check: every
 		// mode must deliver the same count for the same N.
 		fmt.Printf("| async pipeline | %d | %d | %.0f | %.1fx | %d |\n",
@@ -706,6 +768,7 @@ func e14() {
 	eng.Close()
 	internalIn := float64(N) / internalSecs
 	internalOut := float64(M*expected) / internalSecs
+	record("e14.streaming.internal", 1e9/internalIn, 0, internalIn)
 	fmt.Printf("| internal (in-engine) | %d | %.0f | %.0f | 1.0x |\n", M, internalIn, internalOut)
 
 	// External streaming: subscribers attach over TCP and matches are
@@ -767,6 +830,7 @@ func e14() {
 	externalSecs := time.Since(start).Seconds()
 	externalIn := float64(N) / externalSecs
 	externalOut := float64(M*expected) / externalSecs
+	record("e14.streaming.external", 1e9/externalIn, 0, externalIn)
 	fmt.Printf("| external (TCP streaming) | %d | %.0f | %.0f | %.1fx |\n",
 		M, externalIn, externalOut, externalSecs/internalSecs)
 }
@@ -858,6 +922,7 @@ func e15() {
 		sub.Close()
 		srv.Close()
 		eng.Close()
+		record("e15.delivery.ephemeral", 1e9*secs/float64(N), 0, float64(N)/secs)
 		fmt.Printf("| ephemeral SUB push | %.0f | in-flight + while away |\n", float64(N)/secs)
 	}
 
@@ -899,12 +964,15 @@ func e15() {
 		wg.Wait()
 		secs := time.Since(start).Seconds()
 		loss := "none (at-least-once)"
+		key := "e15.delivery.durable_manual"
 		if mode.autoAck {
 			loss = "pushed-but-unread only"
+			key = "e15.delivery.durable_auto"
 		}
 		sub.Close()
 		srv.Close()
 		eng.Close()
+		record(key, 1e9*secs/float64(N), 0, float64(N)/secs)
 		fmt.Printf("| %s | %.0f | %s |\n", mode.name, float64(N)/secs, loss)
 	}
 
@@ -938,6 +1006,7 @@ func e15() {
 		sub.Close()
 		srv.Close()
 		eng.Close()
+		record("e15.delivery.replay_backfill", 1e9*secs/float64(N), 0, float64(N)/secs)
 		fmt.Printf("| REPLAY journal backfill | %.0f | n/a (history) |\n", float64(N)/secs)
 	}
 }
@@ -1002,7 +1071,100 @@ func e16() {
 
 	pubRate := run(false)
 	dmlRate := run(true)
+	record("e16.capture.direct_pub", 1e9/pubRate, 0, pubRate)
+	record("e16.capture.wire_dml", 1e9/dmlRate, 0, dmlRate)
 	fmt.Printf("| direct PUB → EVT | %.0f | baseline |\n", pubRate)
 	fmt.Printf("| wire INSERT → trigger → EVT | %.0f | %.2fx per event |\n",
 		dmlRate, pubRate/dmlRate)
+}
+
+// e17 measures the zero-copy fan-out path: one event delivered to many
+// sinks pays one JSON encode (the event's encode-once cache) instead
+// of one per sink, and one durable event matching many queue-backed
+// subscriptions pays one transaction/WAL append/fsync (group commit)
+// instead of one per queue.
+func e17() {
+	header("E17", "zero-copy fan-out: encode-once payloads and queue group commit (§2.2.c)")
+	N := n(20000, 2000)
+	fmt.Println("| encode path | sinks | events/sec | ns/event | speedup |")
+	fmt.Println("|---|---|---|---|---|")
+	mkEvents := func() []*event.Event {
+		evs := make([]*event.Event, N)
+		for i := range evs {
+			evs[i] = event.New("trade", map[string]any{
+				"sym": fmt.Sprintf("S%d", i%64), "price": float64(i%1000) + 0.5, "qty": i,
+			})
+		}
+		return evs
+	}
+	var line []byte
+	for _, sinks := range []int{1, 16, 64} {
+		evs := mkEvents()
+		_, baseNs := measured(fmt.Sprintf("e17.fanout.per_sink_marshal.%d", sinks), N, func(i int) {
+			for s := 0; s < sinks; s++ {
+				data, err := event.MarshalJSONEvent(evs[i])
+				must(err)
+				line = append(line[:0], "EVT sub "...)
+				line = append(line, data...)
+			}
+		})
+		evs = mkEvents()
+		onceOps, onceNs := measured(fmt.Sprintf("e17.fanout.encode_once.%d", sinks), N, func(i int) {
+			for s := 0; s < sinks; s++ {
+				data, err := evs[i].EncodedJSON()
+				must(err)
+				line = append(line[:0], "EVT sub "...)
+				line = append(line, data...)
+			}
+		})
+		fmt.Printf("| per-sink marshal (pre-change) | %d | %.0f | %.0f | baseline |\n",
+			sinks, 1e9/baseNs, baseNs)
+		fmt.Printf("| encode-once cache | %d | %.0f | %.0f | %.1fx |\n",
+			sinks, onceOps, onceNs, baseNs/onceNs)
+	}
+
+	fmt.Println()
+	fmt.Println("| durable fan-out staging (fsync per commit) | queues | events/sec | speedup |")
+	fmt.Println("|---|---|---|---|")
+	const queues = 16
+	N2 := n(200, 40)
+	stack := func() (*pubsub.Broker, []*queue.Queue, func()) {
+		dir, err := os.MkdirTemp("", "edabench-e17-*")
+		must(err)
+		db, err := storage.Open(storage.Options{Dir: dir, SyncEvery: 1})
+		must(err)
+		qm := queue.NewManager(db)
+		br := pubsub.NewBroker()
+		qs := make([]*queue.Queue, queues)
+		for i := range qs {
+			q, err := qm.Create(fmt.Sprintf("q%d", i), queue.Config{})
+			must(err)
+			must(br.SubscribeQueue(fmt.Sprintf("qs%d", i), "bench", "", q, 0))
+			qs[i] = q
+		}
+		return br, qs, func() { qm.Close(); db.Close(); os.RemoveAll(dir) }
+	}
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0})
+
+	_, qs, cleanup := stack()
+	_, perNs := measured("e17.queue.per_message_commit", N2, func(i int) {
+		for _, q := range qs {
+			_, err := q.Enqueue(ev, queue.EnqueueOptions{})
+			must(err)
+		}
+	})
+	cleanup()
+
+	br, _, cleanup := stack()
+	p := br.NewPublisher()
+	groupOps, groupNs := measured("e17.queue.group_commit", N2, func(i int) {
+		delivered, err := p.Publish(ev)
+		must(err)
+		if delivered != queues {
+			must(fmt.Errorf("delivered %d of %d", delivered, queues))
+		}
+	})
+	cleanup()
+	fmt.Printf("| one transaction per queue (pre-change) | %d | %.0f | baseline |\n", queues, 1e9/perNs)
+	fmt.Printf("| group commit (one txn, one fsync) | %d | %.0f | %.1fx |\n", queues, groupOps, perNs/groupNs)
 }

@@ -197,7 +197,13 @@ func (e *Engine) ingestSync(ev *event.Event) (int, error) {
 	start := time.Now()
 	e.ingestCount.Add(1)
 	e.Metrics.Counter("events.in").Inc()
-	n, err := e.evalEvent(ev, nil, nil)
+	// Borrow pooled match/publish scratch: the single-event path then
+	// evaluates as allocation-free as the batch path. Re-entrant
+	// ingestion (a rule action capturing back into the engine) simply
+	// borrows another scratch pair.
+	sc := e.scratch.Get().(*batchScratch)
+	n, err := e.evalEvent(ev, sc.m, sc.pub)
+	e.scratch.Put(sc)
 	if err != nil {
 		return 0, err
 	}

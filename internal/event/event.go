@@ -30,12 +30,47 @@ func NextID() ID { return ID(idCounter.Add(1)) }
 // class (e.g. "trade", "meter.reading"); Source identifies the producer;
 // Time is the occurrence time (event time, not processing time); Attrs
 // carries the typed payload.
+//
+// Events are shared by pointer across every evaluation and delivery
+// layer, so the struct also carries the encode-once cache used by the
+// fan-out hot path (see EncodedJSON). The cache makes Event
+// non-copyable; derive modified events with WithAttr or Clone instead
+// of copying the struct.
 type Event struct {
 	ID     ID
 	Type   string
 	Source string
 	Time   time.Time
 	Attrs  map[string]val.Value
+
+	// enc atomically publishes the cached JSON wire form. Nil until the
+	// first EncodedJSON call; never reset (events are immutable once
+	// shared — WithAttr and Clone return fresh events with empty
+	// caches).
+	enc atomic.Pointer[[]byte]
+}
+
+// EncodedJSON returns the event's JSON wire form (see
+// MarshalJSONEvent), marshaling at most once per event: the first
+// encoding is atomically published and every later call — from any
+// goroutine, for any sink — returns the same immutable byte slice, so
+// an event fanned out to M subscribers across any number of
+// connections is encoded once, not M times. Callers must treat the
+// returned slice as read-only.
+func (e *Event) EncodedJSON() ([]byte, error) {
+	if p := e.enc.Load(); p != nil {
+		return *p, nil
+	}
+	data, err := AppendJSONEvent(nil, e)
+	if err != nil {
+		return nil, err
+	}
+	if e.enc.CompareAndSwap(nil, &data) {
+		return data, nil
+	}
+	// Lost the publish race: hand back the winner so every caller
+	// shares one slice.
+	return *e.enc.Load(), nil
 }
 
 // New constructs an event of the given type with a fresh ID and the
@@ -85,26 +120,24 @@ func (e *Event) Get(name string) (val.Value, bool) {
 }
 
 // WithAttr returns a shallow copy of the event with one attribute
-// replaced. The original is not modified.
+// replaced. The original is not modified. The copy starts with an
+// empty encode cache — sharing the original's would serve stale JSON
+// for the changed attribute.
 func (e *Event) WithAttr(name string, v val.Value) *Event {
-	cp := *e
-	cp.Attrs = make(map[string]val.Value, len(e.Attrs)+1)
-	for k, ev := range e.Attrs {
-		cp.Attrs[k] = ev
-	}
+	cp := e.Clone()
 	cp.Attrs[name] = v
-	return &cp
+	return cp
 }
 
 // Clone returns a deep copy of the event (attribute map is copied; the
-// immutable values are shared).
+// immutable values are shared). The copy's encode cache starts empty.
 func (e *Event) Clone() *Event {
-	cp := *e
-	cp.Attrs = make(map[string]val.Value, len(e.Attrs))
+	cp := &Event{ID: e.ID, Type: e.Type, Source: e.Source, Time: e.Time,
+		Attrs: make(map[string]val.Value, len(e.Attrs)+1)}
 	for k, v := range e.Attrs {
 		cp.Attrs[k] = v
 	}
-	return &cp
+	return cp
 }
 
 // String renders the event compactly for logs and tests, with attributes

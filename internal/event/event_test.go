@@ -1,11 +1,15 @@
 package event
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"eventdb/internal/raceflag"
 	"eventdb/internal/val"
 )
 
@@ -277,5 +281,197 @@ func TestUnmarshalJSONForeign(t *testing.T) {
 	}
 	if _, err := UnmarshalJSONEvent([]byte(`{"type":"x","attrs":{"o":{"nested":1}}}`)); err == nil {
 		t.Error("nested object attr should fail")
+	}
+}
+
+// --- encode-once payload cache ------------------------------------------
+
+func TestEncodedJSONMatchesMarshal(t *testing.T) {
+	e := New("trade", map[string]any{"sym": "ACME", "price": 1.5})
+	want, err := MarshalJSONEvent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.EncodedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("EncodedJSON = %s, want %s", got, want)
+	}
+}
+
+func TestEncodedJSONCachedExactlyOnce(t *testing.T) {
+	e := New("t", map[string]any{"a": 1, "b": "x"})
+	first, err := e.EncodedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := e.EncodedJSON()
+	if &first[0] != &second[0] {
+		t.Error("EncodedJSON re-encoded instead of returning the cached slice")
+	}
+}
+
+// TestEncodedJSONConcurrentFanout pins the immutability contract under
+// -race: many goroutines racing on the first encode all end up sharing
+// one published slice, byte-identical everywhere and never re-written.
+func TestEncodedJSONConcurrentFanout(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		e := New("t", map[string]any{"a": int64(round), "b": "payload", "c": 2.5})
+		const sinks = 16
+		results := make([][]byte, sinks)
+		var wg sync.WaitGroup
+		for i := 0; i < sinks; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				data, err := e.EncodedJSON()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i] = data
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < sinks; i++ {
+			if &results[i][0] != &results[0][0] {
+				t.Fatal("sinks observed different payload slices (cache written more than once)")
+			}
+		}
+	}
+}
+
+func TestEncodedJSONNotInheritedByDerivedEvents(t *testing.T) {
+	e := New("t", map[string]any{"k": 1})
+	orig, err := e.EncodedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	origCopy := string(orig)
+
+	w := e.WithAttr("k", val.Int(2))
+	wj, err := w.EncodedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wj) == origCopy {
+		t.Error("WithAttr copy served the stale parent cache")
+	}
+	c := e.Clone()
+	c.Attrs["k"] = val.Int(3)
+	cj, err := c.EncodedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cj) == origCopy {
+		t.Error("Clone served the stale parent cache")
+	}
+	if got, _ := e.EncodedJSON(); string(got) != origCopy {
+		t.Error("derived events corrupted the original's cache")
+	}
+}
+
+// TestAppendJSONEventAgainstEncodingJSON cross-checks the hand-rolled
+// encoder against encoding/json over awkward inputs: every value kind,
+// escapes, control bytes, invalid UTF-8.
+func TestAppendJSONEventAgainstEncodingJSON(t *testing.T) {
+	e := &Event{
+		ID:     7,
+		Type:   "we\"ird\\type\n",
+		Source: "src\tcontrol\x01",
+		Time:   time.Date(2026, 7, 30, 1, 2, 3, 456789, time.UTC),
+		Attrs: map[string]val.Value{
+			"s":       val.String("line1\nline2 \"quoted\" \\ € 漢字"),
+			"invalid": val.String("bad\xffutf8"),
+			"i":       val.Int(-42),
+			"f":       val.Float(2.5),
+			"big":     val.Float(1e21),
+			"b":       val.Bool(true),
+			"n":       val.Null,
+			"by":      val.Bytes([]byte{0, 1, 2, 0xFF}),
+			"t":       val.Time(time.Unix(123, 456).UTC()),
+			"":        val.String("empty key"),
+		},
+	}
+	data, err := AppendJSONEvent(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("emitted invalid JSON: %s", data)
+	}
+	got, err := UnmarshalJSONEvent(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != e.ID || got.Type != e.Type || got.Source != e.Source || !got.Time.Equal(e.Time) {
+		t.Errorf("envelope mismatch: %+v vs %+v", got, e)
+	}
+	if v, _ := got.Get("i"); !val.Equal(v, val.Int(-42)) {
+		t.Errorf("i = %v", v)
+	}
+	if v, _ := got.Get("f"); !val.Equal(v, val.Float(2.5)) {
+		t.Errorf("f = %v", v)
+	}
+	if v, _ := got.Get("s"); !val.Equal(v, val.String("line1\nline2 \"quoted\" \\ € 漢字")) {
+		t.Errorf("s = %v", v)
+	}
+	if v, _ := got.Get("by"); !val.Equal(v, val.String("AAEC/w==")) {
+		t.Errorf("bytes should round-trip as base64 string, got %v", v)
+	}
+	// Appending to a non-empty prefix must not corrupt either part.
+	withPrefix, err := AppendJSONEvent([]byte("EVT id "), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(withPrefix[:7]) != "EVT id " || !json.Valid(withPrefix[7:]) {
+		t.Errorf("prefix append corrupted output: %s", withPrefix)
+	}
+}
+
+func TestAppendJSONEventDeterministic(t *testing.T) {
+	e := New("t", map[string]any{"b": 2, "a": 1, "c": 3, "d": "x"})
+	first, err := AppendJSONEvent(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := AppendJSONEvent(nil, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("encoding not canonical: %s vs %s", again, first)
+		}
+	}
+}
+
+func TestAppendJSONEventRejectsNaN(t *testing.T) {
+	e := New("t", nil)
+	e.Attrs = map[string]val.Value{"f": val.Float(math.NaN())}
+	if _, err := AppendJSONEvent(nil, e); err == nil {
+		t.Error("NaN should not encode")
+	}
+}
+
+// TestAllocsEncodedJSONSteadyState pins the encode-once contract: after
+// the first call the cached payload is returned with zero allocations.
+func TestAllocsEncodedJSONSteadyState(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	e := New("trade", map[string]any{"sym": "ACME", "price": 1.5, "qty": 10})
+	if _, err := e.EncodedJSON(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.EncodedJSON(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached EncodedJSON allocates %v per call, want 0", allocs)
 	}
 }

@@ -1,10 +1,15 @@
 package event
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
+	"sync"
 	"time"
+	"unicode/utf8"
 
 	"eventdb/internal/val"
 )
@@ -12,6 +17,13 @@ import (
 // JSON interchange for foreign systems (§2.2.b.i.2 of the paper: staging
 // areas accept "messages that are created in foreign systems"). The wire
 // form is a flat object with reserved envelope keys.
+//
+// Encoding is hand-rolled: the fan-out hot path renders the same JSON
+// for every matched sink, so the appender must be cheap — it writes
+// directly into a caller-supplied buffer (no intermediate map, no
+// reflection) with attribute keys in sorted order so the encoding is
+// canonical. Decoding stays on encoding/json: it runs once per foreign
+// message, not once per sink.
 
 type jsonEvent struct {
 	ID     uint64         `json:"id,omitempty"`
@@ -21,25 +33,157 @@ type jsonEvent struct {
 	Attrs  map[string]any `json:"attrs"`
 }
 
+// encodeScratch is the pooled per-encode working set: the sorted-key
+// slice that makes attribute order canonical without a per-call
+// allocation.
+type encodeScratch struct {
+	keys []string
+}
+
+var encodePool = sync.Pool{New: func() any { return new(encodeScratch) }}
+
 // MarshalJSONEvent renders the event as JSON. Times are RFC 3339, bytes
-// become arrays of numbers (encoding/json default for []byte is base64;
-// we keep the default).
+// become base64 strings (the encoding/json convention for []byte).
+// Prefer Event.EncodedJSON when the same event reaches several sinks —
+// it caches this encoding so the work happens once.
 func MarshalJSONEvent(e *Event) ([]byte, error) {
-	je := jsonEvent{
-		ID:     uint64(e.ID),
-		Type:   e.Type,
-		Source: e.Source,
-		Time:   e.Time.UTC().Format(time.RFC3339Nano),
-		Attrs:  make(map[string]any, len(e.Attrs)),
+	return AppendJSONEvent(nil, e)
+}
+
+// AppendJSONEvent appends the event's JSON wire form to dst and returns
+// the extended slice. Attribute keys are emitted in sorted order, so
+// the encoding is deterministic for a given event.
+func AppendJSONEvent(dst []byte, e *Event) ([]byte, error) {
+	dst = append(dst, '{')
+	if e.ID != 0 {
+		dst = append(dst, `"id":`...)
+		dst = strconv.AppendUint(dst, uint64(e.ID), 10)
+		dst = append(dst, ',')
 	}
-	for k, v := range e.Attrs {
-		a := v.Any()
-		if t, ok := a.(time.Time); ok {
-			a = t.Format(time.RFC3339Nano)
+	dst = append(dst, `"type":`...)
+	dst = appendJSONString(dst, e.Type)
+	if e.Source != "" {
+		dst = append(dst, `,"source":`...)
+		dst = appendJSONString(dst, e.Source)
+	}
+	dst = append(dst, `,"time":"`...)
+	dst = e.Time.UTC().AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `","attrs":{`...)
+
+	sc := encodePool.Get().(*encodeScratch)
+	keys := sc.keys[:0]
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var err error
+	for i, k := range keys {
+		if i > 0 {
+			dst = append(dst, ',')
 		}
-		je.Attrs[k] = a
+		dst = appendJSONString(dst, k)
+		dst = append(dst, ':')
+		dst, err = appendJSONValue(dst, e.Attrs[k])
+		if err != nil {
+			break
+		}
 	}
-	return json.Marshal(je)
+	sc.keys = keys
+	encodePool.Put(sc)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, '}', '}'), nil
+}
+
+// appendJSONValue renders one attribute value.
+func appendJSONValue(dst []byte, v val.Value) ([]byte, error) {
+	switch v.Kind() {
+	case val.KindNull:
+		return append(dst, "null"...), nil
+	case val.KindBool:
+		b, _ := v.AsBool()
+		if b {
+			return append(dst, "true"...), nil
+		}
+		return append(dst, "false"...), nil
+	case val.KindInt:
+		n, _ := v.AsInt()
+		return strconv.AppendInt(dst, n, 10), nil
+	case val.KindFloat:
+		f, _ := v.AsFloat()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("event: unsupported JSON float %v", f)
+		}
+		return strconv.AppendFloat(dst, f, 'g', -1, 64), nil
+	case val.KindString:
+		s, _ := v.AsString()
+		return appendJSONString(dst, s), nil
+	case val.KindTime:
+		t, _ := v.AsTime()
+		dst = append(dst, '"')
+		dst = t.UTC().AppendFormat(dst, time.RFC3339Nano)
+		return append(dst, '"'), nil
+	case val.KindBytes:
+		b, _ := v.AsBytes()
+		n := base64.StdEncoding.EncodedLen(len(b))
+		dst = append(dst, '"')
+		off := len(dst)
+		if cap(dst)-off < n {
+			dst = append(dst, make([]byte, n)...)
+		} else {
+			dst = dst[:off+n]
+		}
+		base64.StdEncoding.Encode(dst[off:], b)
+		return append(dst, '"'), nil
+	}
+	return nil, fmt.Errorf("event: unsupported JSON value kind %s", v.Kind())
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string. Control
+// characters are escaped; invalid UTF-8 bytes become U+FFFD, matching
+// encoding/json's coercion.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				dst = append(dst, '\\', c)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `�`...)
+			i++
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
 }
 
 // UnmarshalJSONEvent parses a JSON event produced by a foreign system.

@@ -44,6 +44,10 @@ type Broker struct {
 	// persistQueueOnly restricts AttachStore persistence to queue-backed
 	// subscriptions (see PersistOnlyQueueSubs).
 	persistQueueOnly bool
+
+	// scratchPool recycles fan-out scratch for the plain Publish entry
+	// point (hot loops hold a Publisher, which carries its own).
+	scratchPool sync.Pool
 }
 
 type subscription struct {
@@ -57,19 +61,22 @@ type subscription struct {
 
 // NewBroker creates a broker with an indexed matching engine.
 func NewBroker() *Broker {
-	return &Broker{
-		engine: rules.NewEngine(rules.Options{Indexed: true}),
-		subs:   make(map[string]*subscription),
-	}
+	return newBroker(rules.Options{Indexed: true})
 }
 
 // NewBrokerNaive creates a broker that evaluates every subscription per
 // publish — the baseline the paper's indexing claim is measured against.
 func NewBrokerNaive() *Broker {
-	return &Broker{
-		engine: rules.NewEngine(rules.Options{Indexed: false}),
+	return newBroker(rules.Options{Indexed: false})
+}
+
+func newBroker(opts rules.Options) *Broker {
+	b := &Broker{
+		engine: rules.NewEngine(opts),
 		subs:   make(map[string]*subscription),
 	}
+	b.scratchPool.New = func() any { return new(deliverScratch) }
+	return b
 }
 
 // PersistOnlyQueueSubs limits AttachStore persistence to queue-backed
@@ -221,43 +228,105 @@ func (b *Broker) Unsubscribe(id string) error {
 
 // Publish matches the event against all subscriptions and delivers to
 // each match, returning the number of deliveries. Callback handlers run
-// synchronously on the publisher's goroutine; queue deliveries enqueue.
+// synchronously on the publisher's goroutine; queue deliveries stage
+// under one group-commit transaction (see deliver).
 func (b *Broker) Publish(ev *event.Event) (int, error) {
 	matched, err := b.engine.Match(ev)
 	if err != nil {
 		return 0, err
 	}
-	return b.deliver(matched, ev)
+	sc := b.scratchPool.Get().(*deliverScratch)
+	n, err := b.deliver(matched, ev, sc)
+	b.scratchPool.Put(sc)
+	return n, err
 }
 
-// deliver routes one matched event to each matching subscription.
-func (b *Broker) deliver(matched []*rules.Rule, ev *event.Event) (int, error) {
-	delivered := 0
+// deliverScratch is the reusable fan-out working set: the subscription
+// snapshot and the queue-staging target list, reused across publishes
+// so the steady-state delivery path allocates nothing.
+type deliverScratch struct {
+	subs    []*subscription
+	targets []queue.Target
+}
+
+// deliver routes one matched event to every matching subscription:
+// callback handlers run inline in match order, and queue-backed
+// deliveries for the event are staged together through
+// queue.EnqueueGroup — one transaction, one WAL append, one fsync,
+// payload encoded once — instead of one commit per queue.
+//
+// Delivery is best-effort: an enqueue failure never stops the
+// remaining deliveries. If the group transaction fails (one vetoed or
+// broken queue aborts the shared commit), each queue delivery is
+// retried individually so healthy siblings still receive the event,
+// and the per-subscription failures come back as one aggregated error
+// alongside the count of deliveries that did land.
+func (b *Broker) deliver(matched []*rules.Rule, ev *event.Event, sc *deliverScratch) (int, error) {
+	if len(matched) == 0 {
+		return 0, nil
+	}
+	// The scratch outlives this publish (pool, shard-worker Publisher);
+	// zero the retained slots on the way out so it cannot pin
+	// since-unsubscribed handlers and queues until some later fan-out
+	// happens to overwrite them.
+	defer func() {
+		clear(sc.subs)
+		clear(sc.targets)
+	}()
+	// Snapshot the matched subscriptions under a single RLock — not one
+	// lock round trip per matched rule.
+	subs := sc.subs[:0]
+	b.mu.RLock()
 	for _, r := range matched {
-		b.mu.RLock()
-		s, ok := b.subs[r.Name]
-		b.mu.RUnlock()
-		if !ok {
+		if s, ok := b.subs[r.Name]; ok {
+			subs = append(subs, s)
+		}
+	}
+	b.mu.RUnlock()
+	sc.subs = subs
+
+	delivered := 0
+	targets := sc.targets[:0]
+	for _, s := range subs {
+		if s.queue != nil {
+			targets = append(targets, queue.Target{Queue: s.queue, Opts: queue.EnqueueOptions{Priority: s.priority}})
 			continue
 		}
-		if s.queue != nil {
-			if _, err := s.queue.Enqueue(ev, queue.EnqueueOptions{Priority: s.priority}); err != nil {
-				return delivered, fmt.Errorf("pubsub: enqueue for %q: %w", s.id, err)
-			}
-		} else {
-			s.handler(Delivery{SubID: s.id, Subscriber: s.subscriber, Event: ev})
+		s.handler(Delivery{SubID: s.id, Subscriber: s.subscriber, Event: ev})
+		delivered++
+	}
+	sc.targets = targets
+	if len(targets) == 0 {
+		return delivered, nil
+	}
+	if err := queue.EnqueueGroup(ev, targets); err == nil {
+		return delivered + len(targets), nil
+	}
+	// Group staging failed — the shared transaction rolled back, so
+	// nothing was staged anywhere. Retry each queue individually,
+	// collecting failures, so one full queue cannot starve the rest.
+	var errs []error
+	for _, s := range subs {
+		if s.queue == nil {
+			continue
+		}
+		if _, err := s.queue.Enqueue(ev, queue.EnqueueOptions{Priority: s.priority}); err != nil {
+			errs = append(errs, fmt.Errorf("pubsub: enqueue for %q: %w", s.id, err))
+			continue
 		}
 		delivered++
 	}
-	return delivered, nil
+	return delivered, errors.Join(errs...)
 }
 
-// Publisher carries reusable match scratch for a hot publish loop (the
-// sharded ingest pipeline gives each shard worker one). Not safe for
-// concurrent use; the broker itself remains safe to share.
+// Publisher carries reusable match and delivery scratch for a hot
+// publish loop (the sharded ingest pipeline gives each shard worker
+// one). Not safe for concurrent use; the broker itself remains safe to
+// share.
 type Publisher struct {
-	b *Broker
-	m *rules.Matcher
+	b  *Broker
+	m  *rules.Matcher
+	sc deliverScratch
 }
 
 // NewPublisher creates a Publisher bound to the broker's live
@@ -272,7 +341,7 @@ func (p *Publisher) Publish(ev *event.Event) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return p.b.deliver(matched, ev)
+	return p.b.deliver(matched, ev, &p.sc)
 }
 
 // MatchOnly returns the subscription IDs that would receive the event,

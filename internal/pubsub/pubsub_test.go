@@ -2,10 +2,12 @@ package pubsub
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"eventdb/internal/event"
 	"eventdb/internal/queue"
+	"eventdb/internal/raceflag"
 	"eventdb/internal/storage"
 	"eventdb/internal/val"
 )
@@ -370,5 +372,144 @@ func TestRebindAtomicFilterReplace(t *testing.T) {
 	}
 	if f, ok := b2.FilterOf("qd"); !ok || f != "price > 1000" {
 		t.Fatalf("reloaded filter = %q, %v; want the rebound filter", f, ok)
+	}
+}
+
+// --- fan-out group commit and best-effort delivery ----------------------
+
+// TestDeliverGroupCommitSingleTransaction pins that one event fanning
+// out to several queue-backed subscriptions stages under a single
+// commit (one WAL append), not one per queue.
+func TestDeliverGroupCommitSingleTransaction(t *testing.T) {
+	db, _ := storage.Open(storage.Options{})
+	qm := queue.NewManager(db)
+	b := NewBroker()
+	const queues = 5
+	for i := 0; i < queues; i++ {
+		q, err := qm.Create(fmt.Sprintf("g%d", i), queue.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubscribeQueue(fmt.Sprintf("qs%d", i), "x", "", q, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq0 := db.Seq()
+	n, err := b.Publish(trade("ACME", 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != queues {
+		t.Fatalf("delivered %d, want %d", n, queues)
+	}
+	if got := db.Seq() - seq0; got != 1 {
+		t.Errorf("fan-out to %d queues took %d commits, want 1 (group commit)", queues, got)
+	}
+	for i := 0; i < queues; i++ {
+		q, _ := qm.Get(fmt.Sprintf("g%d", i))
+		msg, ok, err := q.Dequeue("c")
+		if err != nil || !ok {
+			t.Fatalf("queue %d: dequeue ok=%v err=%v", i, ok, err)
+		}
+		if msg.Event.Type != "trade" {
+			t.Errorf("queue %d: wrong event %v", i, msg.Event)
+		}
+	}
+}
+
+// TestDeliverBestEffortOnQueueFailure pins the partial-failure
+// contract: when one queue rejects the staging (here a BEFORE hook
+// vetoing its table — the stand-in for a full or broken queue), the
+// callback subscriptions still fire, the healthy sibling queues still
+// receive the event, and the failure comes back as one aggregated
+// error naming the broken subscription.
+func TestDeliverBestEffortOnQueueFailure(t *testing.T) {
+	db, _ := storage.Open(storage.Options{})
+	qm := queue.NewManager(db)
+	b := NewBroker()
+
+	good, err := qm.Create("good", queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := qm.Create("bad", queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a full queue: every insert into its backing table is
+	// vetoed.
+	remove := db.OnBefore(queue.TableName("bad"), func(c *storage.Change) error {
+		return fmt.Errorf("queue full")
+	})
+	defer remove()
+
+	calls := 0
+	if err := b.Subscribe("cb", "x", "", func(Delivery) { calls++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SubscribeQueue("qgood", "x", "", good, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SubscribeQueue("qbad", "x", "", bad, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := b.Publish(trade("ACME", 101))
+	if err == nil {
+		t.Fatal("expected an aggregated error for the vetoed queue")
+	}
+	if got := err.Error(); !strings.Contains(got, "qbad") {
+		t.Errorf("error does not name the failed subscription: %v", got)
+	}
+	if strings.Contains(err.Error(), "qgood") {
+		t.Errorf("error blames the healthy subscription: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("delivered %d, want 2 (callback + healthy queue)", n)
+	}
+	if calls != 1 {
+		t.Errorf("callback fired %d times, want 1", calls)
+	}
+	if _, ok, _ := good.Dequeue("c"); !ok {
+		t.Error("healthy queue lost its delivery to the sibling failure")
+	}
+	if st := bad.Stats(); st.Ready != 0 || st.Inflight != 0 {
+		t.Errorf("vetoed queue has contents: %+v", st)
+	}
+}
+
+// TestAllocsPublishSteadyState is the acceptance guard for the
+// allocation-free hot path: steady-state match+publish of one event to
+// callback subscriptions through a warm Publisher must stay within 2
+// allocations per event (it is 0 today).
+func TestAllocsPublishSteadyState(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	b := NewBroker()
+	for i := 0; i < 500; i++ {
+		filter := fmt.Sprintf("sym = 'S%d' AND price > %d", i%100, i%50)
+		if err := b.Subscribe(fmt.Sprintf("s%d", i), "x", filter, func(Delivery) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := b.NewPublisher()
+	ev := trade("S7", 600)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		n, err := p.Publish(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("event stopped matching")
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state publish allocates %v per event, want <= 2", allocs)
 	}
 }

@@ -278,6 +278,14 @@ func (q *Queue) EnqueueTx(txn *storage.Txn, ev *event.Event, opts EnqueueOptions
 	if ev == nil {
 		return 0, errors.New("queue: nil event")
 	}
+	return q.enqueuePayloadTx(txn, event.Encode(nil, ev), opts)
+}
+
+// enqueuePayloadTx buffers one pre-encoded message payload. Split from
+// EnqueueTx so fan-out paths staging the same event into several
+// queues encode it once and share the bytes (rows never mutate their
+// payload, so sharing is safe).
+func (q *Queue) enqueuePayloadTx(txn *storage.Txn, payload []byte, opts EnqueueOptions) (int64, error) {
 	q.mu.Lock()
 	id := q.nextID
 	q.nextID++
@@ -294,12 +302,74 @@ func (q *Queue) EnqueueTx(txn *storage.Txn, ev *event.Event, opts EnqueueOptions
 		"attempts":    val.Int(0),
 		"state":       val.String(stateReady),
 		"enqueued_at": val.Int(now),
-		"payload":     val.Bytes(event.Encode(nil, ev)),
+		"payload":     val.Bytes(payload),
 	})
 	if err != nil {
 		return 0, err
 	}
 	return id, nil
+}
+
+// EnqueueBatch stages a batch of events under a single transaction:
+// one commit, one WAL append, one fsync — group commit. All messages
+// become deliverable together (or none do, on error). Returns the
+// staged message IDs in batch order.
+func (q *Queue) EnqueueBatch(evs []*event.Event, opts EnqueueOptions) ([]int64, error) {
+	if len(evs) == 0 {
+		return nil, nil
+	}
+	txn := q.db.Begin()
+	ids := make([]int64, 0, len(evs))
+	for _, ev := range evs {
+		id, err := q.EnqueueTx(txn, ev, opts)
+		if err != nil {
+			txn.Rollback()
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	if _, err := txn.Commit(); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// Target pairs a queue with enqueue options for EnqueueGroup.
+type Target struct {
+	Queue *Queue
+	Opts  EnqueueOptions
+}
+
+// EnqueueGroup stages one event into several queues under a single
+// transaction — one commit, one WAL append, one fsync (group commit),
+// with the binary payload encoded once and shared across the staged
+// rows. This is the broker fan-out path: an event matching N
+// queue-backed subscriptions costs one transactional update batch, not
+// N. All targets must share one database; the staging is atomic — on
+// error nothing is enqueued anywhere.
+func EnqueueGroup(ev *event.Event, targets []Target) error {
+	if len(targets) == 0 {
+		return nil
+	}
+	if ev == nil {
+		return errors.New("queue: nil event")
+	}
+	db := targets[0].Queue.db
+	for _, t := range targets[1:] {
+		if t.Queue.db != db {
+			return errors.New("queue: EnqueueGroup targets span databases")
+		}
+	}
+	payload := event.Encode(nil, ev)
+	txn := db.Begin()
+	for _, t := range targets {
+		if _, err := t.Queue.enqueuePayloadTx(txn, payload, t.Opts); err != nil {
+			txn.Rollback()
+			return err
+		}
+	}
+	_, err := txn.Commit()
+	return err
 }
 
 // Msg is a delivered message.

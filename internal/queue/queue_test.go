@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -443,5 +444,153 @@ func TestNilEventRejected(t *testing.T) {
 	_, q := newQueue(t, Config{})
 	if _, err := q.Enqueue(nil, EnqueueOptions{}); err == nil {
 		t.Error("nil event accepted")
+	}
+}
+
+// --- batched staging (group commit) -------------------------------------
+
+func TestEnqueueBatchSingleCommit(t *testing.T) {
+	db, q := newQueue(t, Config{})
+	evs := make([]*event.Event, 16)
+	for i := range evs {
+		evs[i] = ev(i)
+	}
+	seq0 := db.Seq()
+	ids, err := q.EnqueueBatch(evs, EnqueueOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(evs) {
+		t.Fatalf("staged %d ids, want %d", len(ids), len(evs))
+	}
+	if got := db.Seq() - seq0; got != 1 {
+		t.Errorf("batch of %d took %d commits, want 1", len(evs), got)
+	}
+	for i := range ids {
+		if i > 0 && ids[i] != ids[i-1]+1 {
+			t.Errorf("ids not sequential: %v", ids)
+			break
+		}
+	}
+	for i := 0; i < len(evs); i++ {
+		msg, ok, err := q.Dequeue("c")
+		if err != nil || !ok {
+			t.Fatalf("dequeue %d: ok=%v err=%v", i, ok, err)
+		}
+		if err := q.Ack(msg.Receipt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := q.Dequeue("c"); ok {
+		t.Error("extra message staged")
+	}
+}
+
+func TestEnqueueBatchAtomicOnError(t *testing.T) {
+	db, q := newQueue(t, Config{})
+	calls := 0
+	remove := db.OnBefore(TableName("in"), func(*storage.Change) error {
+		calls++
+		if calls == 3 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	defer remove()
+	evs := []*event.Event{ev(1), ev(2), ev(3), ev(4)}
+	if _, err := q.EnqueueBatch(evs, EnqueueOptions{}); err == nil {
+		t.Fatal("vetoed batch should fail")
+	}
+	if st := q.Stats(); st.Ready != 0 {
+		t.Errorf("failed batch left %d staged messages", st.Ready)
+	}
+	if _, ok, _ := q.Dequeue("c"); ok {
+		t.Error("failed batch delivered a message")
+	}
+}
+
+func TestEnqueueBatchEmpty(t *testing.T) {
+	_, q := newQueue(t, Config{})
+	ids, err := q.EnqueueBatch(nil, EnqueueOptions{})
+	if err != nil || ids != nil {
+		t.Errorf("empty batch: ids=%v err=%v", ids, err)
+	}
+}
+
+func TestEnqueueGroupSingleCommitSharedPayload(t *testing.T) {
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m := NewManager(db)
+	t.Cleanup(m.Close)
+	var targets []Target
+	for i := 0; i < 4; i++ {
+		q, err := m.Create(fmt.Sprintf("t%d", i), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, Target{Queue: q, Opts: EnqueueOptions{Priority: i}})
+	}
+	seq0 := db.Seq()
+	if err := EnqueueGroup(ev(7), targets); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Seq() - seq0; got != 1 {
+		t.Errorf("group staging took %d commits, want 1", got)
+	}
+	for i, tg := range targets {
+		msg, ok, err := tg.Queue.Dequeue("c")
+		if err != nil || !ok {
+			t.Fatalf("queue %d: ok=%v err=%v", i, ok, err)
+		}
+		if msg.Priority != i {
+			t.Errorf("queue %d: priority %d, want %d", i, msg.Priority, i)
+		}
+		if v, _ := msg.Event.Get("n"); !val.Equal(v, val.Int(7)) {
+			t.Errorf("queue %d: wrong payload %v", i, msg.Event)
+		}
+	}
+}
+
+func TestEnqueueGroupRejectsMixedDatabases(t *testing.T) {
+	_, q1 := newQueue(t, Config{})
+	_, q2 := newQueue(t, Config{})
+	err := EnqueueGroup(ev(1), []Target{{Queue: q1}, {Queue: q2}})
+	if err == nil {
+		t.Fatal("mixed-database group should fail")
+	}
+	if st := q1.Stats(); st.Ready != 0 {
+		t.Error("mixed-database group staged into first queue anyway")
+	}
+}
+
+func TestEnqueueGroupAtomicOnVeto(t *testing.T) {
+	db, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m := NewManager(db)
+	t.Cleanup(m.Close)
+	ok1, err := m.Create("ok1", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := m.Create("bad", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remove := db.OnBefore(TableName("bad"), func(*storage.Change) error {
+		return fmt.Errorf("full")
+	})
+	defer remove()
+	err = EnqueueGroup(ev(1), []Target{{Queue: ok1}, {Queue: bad}})
+	if err == nil {
+		t.Fatal("vetoed group should fail")
+	}
+	if st := ok1.Stats(); st.Ready != 0 {
+		t.Error("vetoed group staged into the healthy queue (not atomic)")
 	}
 }

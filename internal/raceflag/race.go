@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in.
+// Allocation-count guard tests consult it: race instrumentation adds
+// its own allocations, so testing.AllocsPerRun bounds only hold in
+// non-race builds (where CI enforces them).
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -17,8 +17,9 @@
 package rules
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"eventdb/internal/event"
@@ -62,17 +63,24 @@ type Engine struct {
 	rangeIndex map[string]*intervalIndex
 	// residual: rules with no indexable conjunct; always fully evaluated.
 	residual map[string]*Rule
+
+	// matcherPool recycles match scratch for the one-shot Match entry
+	// point, so callers without a dedicated Matcher still match
+	// allocation-free in the steady state.
+	matcherPool sync.Pool
 }
 
 // NewEngine creates a rules engine.
 func NewEngine(opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		opts:       opts,
 		rules:      make(map[string]*Rule),
 		eqIndex:    make(map[string]map[string][]*Rule),
 		rangeIndex: make(map[string]*intervalIndex),
 		residual:   make(map[string]*Rule),
 	}
+	e.matcherPool.New = func() any { return e.NewMatcher() }
+	return e
 }
 
 // Len returns the number of rules.
@@ -146,12 +154,15 @@ func (e *Engine) Rules() []string {
 	return names
 }
 
+// sortRules orders by (priority desc, name). slices.SortFunc, not
+// sort.Slice: the former is allocation-free, and this runs once per
+// matched event on the publish hot path.
 func sortRules(rs []*Rule) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Priority != rs[j].Priority {
-			return rs[i].Priority > rs[j].Priority
+	slices.SortFunc(rs, func(a, b *Rule) int {
+		if c := cmp.Compare(b.Priority, a.Priority); c != 0 {
+			return c
 		}
-		return rs[i].Name < rs[j].Name
+		return cmp.Compare(a.Name, b.Name)
 	})
 }
 
@@ -242,15 +253,29 @@ func (e *Engine) unindexLocked(r *Rule) {
 }
 
 // Match returns the rules whose conditions the event satisfies, ordered
-// by (priority desc, name).
+// by (priority desc, name). The returned slice is caller-owned. Hot
+// loops should hold a Matcher instead; Match borrows one from the
+// engine's pool, so even the one-shot path stays cheap under repeated
+// calls.
 func (e *Engine) Match(r expr.Resolver) ([]*Rule, error) {
-	return e.matchInto(r, nil, nil)
+	m := e.matcherPool.Get().(*Matcher)
+	scratch, err := m.Match(r)
+	var out []*Rule
+	if len(scratch) > 0 {
+		out = append(out, scratch...)
+	}
+	e.matcherPool.Put(m)
+	return out, err
 }
 
-// matchInto is the matching core shared by Match and Matcher. counts
-// and out are caller-owned scratch (either may be nil); the matched
+// matchInto is the matching core shared by Match and Matcher. m carries
+// the caller-owned scratch (candidate counters, key buffer); matched
 // rules are appended to out and returned.
-func (e *Engine) matchInto(r expr.Resolver, counts map[*Rule]int, out []*Rule) ([]*Rule, error) {
+//
+// Candidate counting is epoch-stamped: each Match bumps m.epoch, and a
+// counter from an earlier epoch reads as zero, so the counts map is
+// never cleared — the per-event cost is O(candidates), not O(map).
+func (e *Engine) matchInto(r expr.Resolver, m *Matcher, out []*Rule) ([]*Rule, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	confirm := func(rule *Rule) error {
@@ -273,19 +298,36 @@ func (e *Engine) matchInto(r expr.Resolver, counts map[*Rule]int, out []*Rule) (
 		return out, nil
 	}
 
-	if counts == nil {
-		counts = make(map[*Rule]int)
+	m.epoch++
+	m.cands = m.cands[:0]
+	// Stale-entry bound: rules removed from the engine stay in the
+	// counts map as inert epoch-stamped entries. Under heavy rule churn
+	// that would pin dead rules and grow without limit, so reset the
+	// map when it clearly outnumbers the live set.
+	if len(m.counts) > 2*len(e.rules)+64 {
+		clear(m.counts)
+	}
+	bump := func(rule *Rule) {
+		h := m.counts[rule]
+		if h.epoch != m.epoch {
+			h = hitCount{epoch: m.epoch}
+			m.cands = append(m.cands, rule)
+		}
+		h.n++
+		m.counts[rule] = h
 	}
 	// Equality probes: for every indexed field, the event's value picks
-	// up the rules anchored on it.
+	// up the rules anchored on it. The key encodes into the matcher's
+	// reused buffer; the string conversion inside the map index does
+	// not allocate.
 	for field, byVal := range e.eqIndex {
 		v, ok := r.Get(field)
 		if !ok || v.IsNull() {
 			continue
 		}
-		key := string(val.AppendKey(nil, v))
-		for _, rule := range byVal[key] {
-			counts[rule]++
+		m.keyBuf = val.AppendKey(m.keyBuf[:0], v)
+		for _, rule := range byVal[string(m.keyBuf)] {
+			bump(rule)
 		}
 	}
 	// Range probes.
@@ -298,12 +340,10 @@ func (e *Engine) matchInto(r expr.Resolver, counts map[*Rule]int, out []*Rule) (
 		if !ok {
 			continue
 		}
-		ix.stab(f, func(rule *Rule) {
-			counts[rule]++
-		})
+		ix.stab(f, bump)
 	}
-	for rule, n := range counts {
-		if n == rule.nIndexed {
+	for _, rule := range m.cands {
+		if m.counts[rule].n == rule.nIndexed {
 			if err := confirm(rule); err != nil {
 				return nil, err
 			}
@@ -333,26 +373,37 @@ func (e *Engine) Eval(ev *event.Event) (int, error) {
 	return len(matched), nil
 }
 
-// Matcher carries reusable scratch (candidate counts, result slice)
-// for repeated matching, so a hot ingest loop amortizes its per-event
-// allocations to zero. A Matcher is not safe for concurrent use;
-// create one per goroutine — the engine itself remains safe to share.
+// hitCount is one epoch-stamped candidate counter: n is meaningful
+// only when epoch matches the matcher's current epoch, which is how
+// the per-event path avoids clearing the map.
+type hitCount struct {
+	epoch uint64
+	n     int
+}
+
+// Matcher carries reusable scratch (epoch-stamped candidate counters,
+// key-encoding buffer, candidate and result slices) for repeated
+// matching, so a hot ingest loop amortizes its per-event allocations
+// to zero. A Matcher is not safe for concurrent use; create one per
+// goroutine — the engine itself remains safe to share.
 type Matcher struct {
 	e      *Engine
-	counts map[*Rule]int
+	epoch  uint64
+	counts map[*Rule]hitCount
+	cands  []*Rule
+	keyBuf []byte
 	out    []*Rule
 }
 
 // NewMatcher creates a Matcher bound to the engine's live rule set.
 func (e *Engine) NewMatcher() *Matcher {
-	return &Matcher{e: e, counts: make(map[*Rule]int)}
+	return &Matcher{e: e, counts: make(map[*Rule]hitCount)}
 }
 
 // Match is Engine.Match with scratch reuse. The returned slice is
 // owned by the Matcher and only valid until the next Match/Eval call.
 func (m *Matcher) Match(r expr.Resolver) ([]*Rule, error) {
-	clear(m.counts)
-	out, err := m.e.matchInto(r, m.counts, m.out[:0])
+	out, err := m.e.matchInto(r, m, m.out[:0])
 	if out != nil {
 		m.out = out
 	}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"eventdb/internal/event"
+	"eventdb/internal/raceflag"
 )
 
 func mkEvent(attrs map[string]any) *event.Event {
@@ -342,5 +343,110 @@ func TestMatcherSeesRuleChurn(t *testing.T) {
 	e.Remove("r")
 	if got, _ := m.Match(ev); len(got) != 0 {
 		t.Error("matcher saw removed rule")
+	}
+}
+
+// TestMatcherEpochIsolation pins that the epoch-stamped counters never
+// leak candidate counts between events: alternating events that each
+// partially satisfy different multi-conjunct rules must never
+// accumulate across matches into a false positive.
+func TestMatcherEpochIsolation(t *testing.T) {
+	e := NewEngine(Options{Indexed: true})
+	// Two equality conjuncts each: an event carrying only one of them
+	// leaves a partial count that a later event must not complete.
+	if _, err := e.Add("ab", "a = 1 AND b = 2", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Add("cd", "c = 3 AND d = 4", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := e.NewMatcher()
+	evs := []*event.Event{
+		mkEvent(map[string]any{"a": 1, "d": 4}), // half of each rule
+		mkEvent(map[string]any{"b": 2, "c": 3}), // the other halves
+		mkEvent(map[string]any{"a": 1, "b": 2}), // full match of "ab"
+	}
+	for round := 0; round < 100; round++ {
+		for i, ev := range evs {
+			got, err := m.Match(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			if i == 2 {
+				want = 1
+			}
+			if len(got) != want {
+				t.Fatalf("round %d event %d matched %d rules, want %d", round, i, len(got), want)
+			}
+		}
+	}
+}
+
+// TestMatcherSurvivesHeavyChurn exercises the stale-counter pruning:
+// thousands of rules come and go through one matcher without wrong
+// results (and without the counts map pinning every dead rule, though
+// that is only observable as memory).
+func TestMatcherSurvivesHeavyChurn(t *testing.T) {
+	e := NewEngine(Options{Indexed: true})
+	if _, err := e.Add("keep", "site = 'site1'", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := e.NewMatcher()
+	ev := mkEvent(map[string]any{"site": "site1"})
+	for i := 0; i < 5000; i++ {
+		name := fmt.Sprintf("churn%d", i)
+		if _, err := e.Add(name, "site = 'site1'", 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Match(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("iter %d: matched %d, want 2", i, len(got))
+		}
+		if err := e.Remove(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Match(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "keep" {
+		t.Fatalf("after churn matched %v", got)
+	}
+}
+
+// TestAllocsMatchSteadyState is the zero-alloc guard for the indexed
+// match hot path: once a Matcher's scratch is warm, matching an event
+// against a large rule set allocates nothing.
+func TestAllocsMatchSteadyState(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	e := NewEngine(Options{Indexed: true})
+	for i := 0; i < 1000; i++ {
+		cond := fmt.Sprintf("site = 'site%d' AND level >= %d", i%100, i%10)
+		if _, err := e.Add(fmt.Sprintf("r%d", i), cond, i%3, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := e.NewMatcher()
+	ev := mkEvent(map[string]any{"site": "site7", "level": 5})
+	// Warm the scratch (counter entries, key buffer, result slice).
+	for i := 0; i < 3; i++ {
+		if _, err := m.Match(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := m.Match(ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Match allocates %v per event, want 0", allocs)
 	}
 }

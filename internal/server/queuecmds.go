@@ -106,9 +106,16 @@ func (c *conn) queueFail(err error) {
 	c.errf(codeInternal, "%v", err)
 }
 
-// qevtLine renders one durable delivery.
-func qevtLine(name, token string, attempt int, data []byte) string {
-	return "QEVT " + name + " " + token + " " + strconv.Itoa(attempt) + " " + string(data)
+// appendQEVT renders one durable delivery into a line buffer.
+func appendQEVT(dst []byte, name, token string, attempt int, data []byte) []byte {
+	dst = append(dst, "QEVT "...)
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = append(dst, token...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(attempt), 10)
+	dst = append(dst, ' ')
+	return append(dst, data...)
 }
 
 // receiptToken renders the wire receipt for one delivery attempt.
@@ -135,7 +142,7 @@ func handleConsume(c *conn, req *request) bool {
 		return true
 	}
 	consumer := fmt.Sprintf("conn%d", c.id)
-	var lines []string
+	var lines [][]byte
 	var tokens []string
 	for len(lines) < max {
 		msg, ok, err := q.Dequeue(consumer)
@@ -147,13 +154,16 @@ func handleConsume(c *conn, req *request) bool {
 					q.Release(r)
 				}
 			}
+			for _, line := range lines {
+				c.recycle(line)
+			}
 			c.errf(codeInternal, "%v", err)
 			return true
 		}
 		if !ok {
 			break
 		}
-		data, err := event.MarshalJSONEvent(msg.Event)
+		data, err := msg.Event.EncodedJSON()
 		if err != nil {
 			// Poison message: Nack so attempts burn down to the dead
 			// letter instead of Release looping it back to the head of
@@ -165,14 +175,14 @@ func handleConsume(c *conn, req *request) bool {
 		token := receiptToken(msg.Receipt.ID, msg.Attempt)
 		c.trackReceipt(name, token, msg.Receipt, nil)
 		tokens = append(tokens, token)
-		lines = append(lines, qevtLine(name, token, msg.Attempt, data))
+		lines = append(lines, appendQEVT(c.lineBuf(), name, token, msg.Attempt, data))
 	}
 	// Reply first, then the batch: both flow through the outbound
 	// queue in order, so the client sees "OK <n>" followed by exactly
 	// n QEVT lines (interleaved pushes for other sinks aside).
 	c.reply(fmt.Sprintf("OK %d", len(lines)))
 	for _, line := range lines {
-		c.reply(line)
+		c.replyBuf(line)
 	}
 	return true
 }
@@ -250,11 +260,11 @@ func handleReplay(c *conn, req *request) bool {
 		return true
 	}
 	next, n, err := c.srv.eng.ReplayQueue(name, fromLSN, func(ev *event.Event, lsn uint64, _ int64) error {
-		data, err := event.MarshalJSONEvent(ev)
+		data, err := ev.EncodedJSON()
 		if err != nil {
 			return err
 		}
-		c.reply(qevtLine(name, "h"+strconv.FormatUint(lsn, 10), 0, data))
+		c.replyBuf(appendQEVT(c.lineBuf(), name, "h"+strconv.FormatUint(lsn, 10), 0, data))
 		return nil
 	})
 	if err != nil {

@@ -317,7 +317,8 @@ func (s *Server) acceptLoop() {
 			srv:        s,
 			id:         s.nextConn.Add(1),
 			nc:         nc,
-			out:        make(chan string, s.cfg.SubBuffer),
+			out:        make(chan []byte, s.cfg.SubBuffer),
+			free:       make(chan []byte, s.cfg.SubBuffer),
 			stop:       make(chan struct{}),
 			writerDone: make(chan struct{}),
 			sinks:      make(map[string]sink),
@@ -341,12 +342,19 @@ func (s *Server) acceptLoop() {
 // conn is one client connection: a reader goroutine parsing commands
 // and a writer goroutine draining the bounded outbound queue. It is
 // the per-connection session state threaded through every handler.
+//
+// Outbound lines are []byte buffers recycled through the free list:
+// a producer takes a buffer with lineBuf, builds the line, and hands
+// ownership to the writer via out; the writer returns it to free after
+// the socket write. Steady-state fan-out therefore allocates no line
+// buffers at all.
 type conn struct {
 	srv        *Server
 	id         uint64
 	nc         net.Conn
 	br         *bufio.Reader // owned by the reader goroutine
-	out        chan string
+	out        chan []byte
+	free       chan []byte   // recycled line buffers
 	stop       chan struct{} // closed at teardown; unblocks producers
 	writerDone chan struct{} // closed when the writer goroutine exits
 
@@ -366,65 +374,115 @@ func (c *conn) brokerID(localID string) string {
 	return fmt.Sprintf("wire.%d.%s", c.id, localID)
 }
 
+// maxRecycledLine caps the capacity of buffers kept on the free list,
+// so one huge payload cannot pin its footprint for the connection's
+// lifetime.
+const maxRecycledLine = 64 << 10
+
+// lineBuf returns an empty outbound line buffer, recycled from the
+// free list when one is available.
+func (c *conn) lineBuf() []byte {
+	select {
+	case b := <-c.free:
+		return b[:0]
+	default:
+		return make([]byte, 0, 256)
+	}
+}
+
+// recycle returns a line buffer to the free list (dropped when the
+// list is full or the buffer grew oversized).
+func (c *conn) recycle(b []byte) {
+	if cap(b) > maxRecycledLine {
+		return
+	}
+	select {
+	case c.free <- b:
+	default:
+	}
+}
+
 // reply queues a command reply. Replies are never dropped: they are
 // bounded by request rate, and the protocol's request/reply ordering
 // depends on every one arriving.
 func (c *conn) reply(line string) {
+	c.replyBuf(append(c.lineBuf(), line...))
+}
+
+// replyBuf queues an already-built reply line; buffer ownership passes
+// to the writer (or back to the free list if the connection is
+// tearing down).
+func (c *conn) replyBuf(b []byte) {
 	select {
-	case c.out <- line:
+	case c.out <- b:
 	case <-c.stop:
+		c.recycle(b)
 	}
 }
 
 // push queues an asynchronous EVT line under the configured overflow
-// policy.
-func (c *conn) push(line string) {
+// policy. Buffer ownership passes to the writer; dropped lines return
+// to the free list.
+func (c *conn) push(b []byte) {
 	if c.srv.cfg.Overflow == DropOnFull {
 		select {
-		case c.out <- line:
+		case c.out <- b:
 		default:
+			c.recycle(b)
 			c.dropped.Add(1)
 			c.srv.eng.Metrics.Counter("server.push.dropped").Inc()
 		}
 		return
 	}
 	select {
-	case c.out <- line:
+	case c.out <- b:
 	case <-c.stop:
+		c.recycle(b)
 	}
 }
 
-// pushEvent renders and queues one pushed event for a subscription or
-// continuous query. The event is marshaled per matching subscription:
-// events are shared immutable values with no JSON cache, and attaching
-// one would go stale under Event.WithAttr's shallow copies, so the
-// fan-out trades redundant encoding for safety.
+// pushEvent queues one pushed event for a subscription or continuous
+// query. The payload comes from the event's encode-once cache: an
+// event fanned out to M sinks across any number of connections is
+// marshaled exactly once, and each sink pays only a prefix build and a
+// copy into its recycled line buffer. (Derived events — WithAttr,
+// Clone — carry fresh caches, so a cached payload can never go stale.)
 func (c *conn) pushEvent(localID string, ev *event.Event) {
-	data, err := event.MarshalJSONEvent(ev)
+	data, err := ev.EncodedJSON()
 	if err != nil {
 		c.srv.eng.Metrics.Counter("server.push.encode_errors").Inc()
 		return
 	}
-	c.push("EVT " + localID + " " + string(data))
+	b := append(c.lineBuf(), "EVT "...)
+	b = append(b, localID...)
+	b = append(b, ' ')
+	b = append(b, data...)
+	c.push(b)
 }
 
-// writeLoop drains the outbound queue to the socket. On a write error
-// it closes the socket (forcing the reader to tear down) and keeps
-// consuming so blocked producers are released until stop closes.
+// writeLoop drains the outbound queue to the socket, coalescing: it
+// writes every immediately-available line, then flushes once, so a
+// fan-out burst pays one syscall instead of one per line. On a write
+// error it closes the socket (forcing the reader to tear down) and
+// keeps consuming so blocked producers are released until stop closes.
 func (c *conn) writeLoop() {
 	defer close(c.writerDone)
 	w := bufio.NewWriterSize(c.nc, 1<<16)
 	failed := false
-	write := func(line string) {
-		if failed {
-			return
+	write := func(line []byte) {
+		if !failed {
+			_, err := w.Write(line)
+			if err == nil {
+				err = w.WriteByte('\n')
+			}
+			if err != nil {
+				failed = true
+				c.nc.Close()
+			} else {
+				c.sent.Add(1)
+			}
 		}
-		if _, err := w.WriteString(line + "\n"); err != nil {
-			failed = true
-			c.nc.Close()
-			return
-		}
-		c.sent.Add(1)
+		c.recycle(line)
 	}
 	for {
 		select {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
 	"strings"
@@ -612,6 +613,102 @@ func TestShardedEnginePush(t *testing.T) {
 			got++
 		case <-timeout:
 			t.Fatalf("received %d of %d", got, total)
+		}
+	}
+}
+
+// TestFanoutSharedPayloadByteIdentical publishes through a sharded
+// engine (concurrent shard goroutines race on each event's first
+// encode) while many connections subscribe to everything, then asserts
+// every connection received byte-identical JSON for every event — the
+// encode-once cache is written once and never mutated, and no sink
+// ever observes a torn or divergent payload. Run with -race this also
+// pins the cache's publication safety.
+func TestFanoutSharedPayloadByteIdentical(t *testing.T) {
+	_, srv := startServer(t, core.Config{Shards: 4, ShardBuffer: 256}, Config{SubBuffer: 2048})
+	const conns = 6
+	const events = 40
+
+	type subConn struct {
+		nc net.Conn
+		br *bufio.Reader
+	}
+	subs := make([]*subConn, conns)
+	for i := range subs {
+		nc, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nc.Close() })
+		br := bufio.NewReader(nc)
+		fmt.Fprintf(nc, "SUB all\n")
+		line, err := br.ReadString('\n')
+		if err != nil || strings.TrimSpace(line) != "OK" {
+			t.Fatalf("SUB reply %q err %v", line, err)
+		}
+		subs[i] = &subConn{nc: nc, br: br}
+	}
+
+	pub, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pub.Close() })
+	pbr := bufio.NewReader(pub)
+	fmt.Fprintf(pub, "PUBB %d\n", events)
+	for i := 0; i < events; i++ {
+		// Distinct types spread events across shards so first encodes
+		// race; explicit ids key the cross-connection comparison.
+		fmt.Fprintf(pub, `{"id":%d,"type":"t%d","attrs":{"n":%d,"s":"msg-%d","f":1.5}}`+"\n",
+			100000+i, i%4, i, i)
+	}
+	if line, err := pbr.ReadString('\n'); err != nil || !strings.HasPrefix(line, "OK") {
+		t.Fatalf("PUBB reply %q err %v", line, err)
+	}
+
+	// Collect per-connection payloads keyed by event id.
+	payloads := make([]map[string]string, conns)
+	var wg sync.WaitGroup
+	for i, sc := range subs {
+		wg.Add(1)
+		go func(i int, sc *subConn) {
+			defer wg.Done()
+			got := make(map[string]string, events)
+			sc.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+			for len(got) < events {
+				line, err := sc.br.ReadString('\n')
+				if err != nil {
+					t.Errorf("conn %d: read after %d events: %v", i, len(got), err)
+					return
+				}
+				payload, ok := strings.CutPrefix(strings.TrimRight(line, "\r\n"), "EVT all ")
+				if !ok {
+					t.Errorf("conn %d: unexpected line %q", i, line)
+					return
+				}
+				var probe struct {
+					ID uint64 `json:"id"`
+				}
+				if err := json.Unmarshal([]byte(payload), &probe); err != nil {
+					t.Errorf("conn %d: bad payload %q: %v", i, payload, err)
+					return
+				}
+				got[fmt.Sprint(probe.ID)] = payload
+			}
+			payloads[i] = got
+		}(i, sc)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < conns; i++ {
+		for id, want := range payloads[0] {
+			if got, ok := payloads[i][id]; !ok {
+				t.Errorf("conn %d missed event %s", i, id)
+			} else if got != want {
+				t.Errorf("conn %d event %s payload diverged:\n  %s\nvs\n  %s", i, id, got, want)
+			}
 		}
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"eventdb/internal/cq"
-	"eventdb/internal/event"
 	"eventdb/internal/queue"
 )
 
@@ -142,9 +141,12 @@ func (s *queueSink) run() {
 // deliver pushes one dequeued message as a QEVT line, tracking its
 // receipt (manual mode) or acknowledging it up front (auto mode). The
 // push blocks until queued or the sink detaches — a durable delivery
-// is never silently dropped.
+// is never silently dropped. (Dequeue decodes a fresh Event per
+// delivery, so EncodedJSON here is a cold encode, not a shared cache
+// hit — the durable path's win is the recycled line buffer and the
+// coalesced writer, not cross-sink payload sharing.)
 func (s *queueSink) deliver(msg *queue.Msg) {
-	data, err := event.MarshalJSONEvent(msg.Event)
+	data, err := msg.Event.EncodedJSON()
 	if err != nil {
 		// Poison message: it can never cross the wire. Nack — not
 		// Release — so the attempts budget burns down and the message
@@ -170,7 +172,7 @@ func (s *queueSink) deliver(msg *queue.Msg) {
 		token = receiptToken(msg.Receipt.ID, msg.Attempt)
 		s.c.trackReceipt(s.name, token, msg.Receipt, s)
 	}
-	line := qevtLine(s.name, token, msg.Attempt, data)
+	line := appendQEVT(s.c.lineBuf(), s.name, token, msg.Attempt, data)
 	select {
 	case s.c.out <- line:
 		s.c.srv.eng.Metrics.Counter("server.qsub.delivered").Inc()
@@ -178,6 +180,7 @@ func (s *queueSink) deliver(msg *queue.Msg) {
 		// Tearing down: the line was never queued. Hand a manual-ack
 		// message back so the next consumer gets it immediately; an
 		// auto-ack message was already consumed (at-most-once loss).
+		s.c.recycle(line)
 		if !s.autoAck {
 			s.c.takeReceipt(s.name, token)
 			s.q.Release(msg.Receipt)

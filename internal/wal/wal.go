@@ -67,6 +67,16 @@ type WAL struct {
 	segStart uint64
 	nextLSN  uint64
 	unsync   int
+
+	// Group-commit state: concurrent appenders that each need
+	// durability share one fsync instead of queueing one apiece (see
+	// SyncTo). syncMu orders the cohort; syncedLSN is the position
+	// through which the log is known durable; syncing marks an fsync in
+	// flight, and cond wakes the waiters riding on it.
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncing   bool
+	syncedLSN uint64
 }
 
 // Open opens (or creates) the log in opts.Dir, recovering from any torn
@@ -87,6 +97,7 @@ func Open(opts Options) (*WAL, error) {
 		syncEvery: opts.SyncEvery,
 		nextLSN:   1,
 	}
+	w.syncCond = sync.NewCond(&w.syncMu)
 	segs, err := w.segments()
 	if err != nil {
 		return nil, err
@@ -194,17 +205,19 @@ func (w *WAL) rollLocked(startLSN uint64) error {
 	return nil
 }
 
-// Append logs one record and returns its LSN.
+// Append logs one record and returns its LSN. When the record crosses
+// the SyncEvery cadence it is durable on return.
 func (w *WAL) Append(typ uint8, data []byte) (uint64, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.f == nil {
+		w.mu.Unlock()
 		return 0, errors.New("wal: closed")
 	}
 	lsn := w.nextLSN
 	w.nextLSN++
 	if w.curSize >= w.segBytes {
 		if err := w.rollLocked(lsn); err != nil {
+			w.mu.Unlock()
 			return 0, err
 		}
 	}
@@ -217,19 +230,68 @@ func (w *WAL) Append(typ uint8, data []byte) (uint64, error) {
 	crc.Write(data)
 	binary.BigEndian.PutUint32(hdr[0:4], crc.Sum32())
 	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.mu.Unlock()
 		return 0, err
 	}
 	if _, err := w.w.Write(data); err != nil {
+		w.mu.Unlock()
 		return 0, err
 	}
 	w.curSize += int64(recHeaderSize + len(data))
 	w.unsync++
-	if w.syncEvery > 0 && w.unsync >= w.syncEvery {
-		if err := w.syncLocked(); err != nil {
+	need := w.syncEvery > 0 && w.unsync >= w.syncEvery
+	w.mu.Unlock()
+	if need {
+		// Durability outside the append lock: other goroutines keep
+		// appending (buffered) while this record's fsync runs, and
+		// concurrent appenders that also crossed the cadence share one
+		// fsync (group commit) instead of queueing one each.
+		if err := w.SyncTo(lsn); err != nil {
 			return 0, err
 		}
 	}
 	return lsn, nil
+}
+
+// SyncTo ensures the log is durable through lsn, coalescing concurrent
+// callers into a single fsync: if another goroutine's in-flight sync
+// covers lsn, this call just waits for it (group commit). Returns
+// immediately when lsn is already durable.
+func (w *WAL) SyncTo(lsn uint64) error {
+	w.syncMu.Lock()
+	for {
+		if w.syncedLSN >= lsn {
+			w.syncMu.Unlock()
+			return nil
+		}
+		if !w.syncing {
+			break
+		}
+		// An fsync is in flight; it may cover lsn — wait and re-check.
+		w.syncCond.Wait()
+	}
+	w.syncing = true
+	w.syncMu.Unlock()
+
+	w.mu.Lock()
+	var target uint64
+	var err error
+	if w.f == nil {
+		err = errors.New("wal: closed")
+	} else {
+		target = w.nextLSN - 1 // everything appended so far rides along
+		err = w.syncLocked()
+	}
+	w.mu.Unlock()
+
+	w.syncMu.Lock()
+	w.syncing = false
+	if err == nil && target > w.syncedLSN {
+		w.syncedLSN = target
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+	return err
 }
 
 // Sync flushes buffered records and fsyncs the current segment.
