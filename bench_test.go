@@ -1,4 +1,4 @@
-// Experiment benchmarks E1–E16. Each benchmark regenerates one row or
+// Experiment benchmarks E1–E18. Each benchmark regenerates one row or
 // series of the experiment tables in EXPERIMENTS.md; cmd/edabench runs
 // curated sweeps of the same code and prints the tables.
 //
@@ -25,6 +25,7 @@ import (
 	"eventdb/internal/pubsub"
 	"eventdb/internal/query"
 	"eventdb/internal/queue"
+	"eventdb/internal/repl"
 	"eventdb/internal/rules"
 	"eventdb/internal/server"
 	"eventdb/internal/storage"
@@ -1339,4 +1340,155 @@ func reportEventsPerSec(b *testing.B, events int) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(events)/secs, "events/sec")
 	}
+}
+
+// --- E18: WAL-shipping replication ---
+
+// e18Leader boots a durable leader with persisted wire subscriptions,
+// served over TCP, plus a trades table to commit into.
+func e18Leader(b *testing.B) (*core.Engine, *server.Server) {
+	b.Helper()
+	eng, err := core.Open(core.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Broker.PersistOnlyQueueSubs(true)
+	if err := eng.Broker.AttachStore(eng.DB, "wire_subs", eng.Queues, queue.Config{}, nil); err != nil {
+		b.Fatal(err)
+	}
+	tradeTable(b, eng.DB)
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, srv
+}
+
+// BenchmarkE18ReplicationThroughput measures WAL shipping end to end:
+// b.N committed transactions on the leader must be encoded, streamed
+// over TCP, decoded, re-appended to the follower's WAL, and applied to
+// its tables. events/sec is the replicated-commit rate the follower
+// sustains; ns/op includes the leader-side commit itself, so the
+// replication overhead is the gap to a leader-only insert loop.
+func BenchmarkE18ReplicationThroughput(b *testing.B) {
+	leng, lsrv := e18Leader(b)
+	defer func() { lsrv.Close(); leng.Close() }()
+	feng, err := core.Open(core.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer feng.Close()
+	f, err := repl.Start(repl.Config{Addr: lsrv.Addr(), Engine: feng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if !f.WaitCursor(leng.DB.WAL().NextLSN(), 30*time.Second) {
+		b.Fatal("follower never caught up with setup records")
+	}
+	row := map[string]val.Value{
+		"sym": val.String("ACME"), "price": val.Float(101.5), "qty": val.Int(100),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := leng.DB.Insert("trades", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !f.WaitCursor(leng.DB.WAL().NextLSN(), 120*time.Second) {
+		b.Fatalf("follower stalled at cursor %d", f.Cursor())
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, b.N)
+}
+
+// BenchmarkE18FailoverResume measures the failover path a consumer
+// actually experiences: leader dies → follower promotes (re-attaching
+// durable queue state) → a reconnecting durable consumer receives its
+// first staged event from the new leader. The reported failover-ms is
+// promote-to-first-delivery; setup (staging events, catch-up) is off
+// the clock.
+func BenchmarkE18FailoverResume(b *testing.B) {
+	var totalFailover time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		leng, lsrv := e18Leader(b)
+		feng, err := core.Open(core.Config{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := repl.Start(repl.Config{
+			Addr: lsrv.Addr(), Engine: feng,
+			OnPromote: func() {
+				feng.Broker.PersistOnlyQueueSubs(true)
+				if err := feng.Broker.AttachStore(feng.DB, "wire_subs", feng.Queues, queue.Config{}, nil); err != nil {
+					b.Error(err)
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Bind a durable subscription, then stage events with no live
+		// consumer: the failover's redelivery obligation.
+		c1, err := client.Dial(lsrv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c1.DurableSubscribe("fo", "", client.DurableOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		c1.Close()
+		pub, err := client.Dial(lsrv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		evs := make([]*event.Event, 32)
+		for j := range evs {
+			evs[j] = event.New("order", map[string]any{"qty": 900})
+		}
+		if _, err := pub.PublishBatch(evs); err != nil {
+			b.Fatal(err)
+		}
+		pub.Close()
+		if !f.WaitCursor(leng.DB.WAL().NextLSN(), 30*time.Second) {
+			b.Fatal("follower never caught up")
+		}
+		lsrv.Close()
+		leng.Close()
+
+		b.StartTimer()
+		start := time.Now()
+		if _, err := f.Promote(); err != nil {
+			b.Fatal(err)
+		}
+		fsrv, err := server.StartConfig(feng, "127.0.0.1:0", server.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c2, err := client.Dial(fsrv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds, err := c2.DurableSubscribe("fo", "", client.DurableOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case d := <-ds.C:
+			if err := d.Ack(); err != nil {
+				b.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			b.Fatal("no redelivery from promoted leader")
+		}
+		totalFailover += time.Since(start)
+		b.StopTimer()
+		c2.Close()
+		fsrv.Close()
+		feng.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalFailover.Milliseconds())/float64(b.N), "failover-ms")
 }

@@ -112,7 +112,7 @@ var knownCodes = map[string]bool{
 	"toobig": true, "dup": true, "nosub": true, "noreceipt": true,
 	"noqueue": true, "notable": true, "notrig": true, "nowatch": true,
 	"conflict": true, "aborted": true, "notdurable": true,
-	"limit": true, "internal": true,
+	"limit": true, "internal": true, "readonly": true,
 }
 
 // serverError parses the payload of an "ERR " reply line. Replies from
@@ -140,16 +140,78 @@ type Conn struct {
 	consumers map[string]chan Delivery // active Consume collectors
 	closed    bool
 	err       error
+	repl      *ReplStream // active replication stream, if any
 
 	done chan struct{} // closed when the connection dies
 }
 
-// Dial connects to a server address.
-func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial: %w", err)
+// DialOption customizes Dial (candidate fallbacks, leader routing).
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	fallbacks     []string
+	requireLeader bool
+	netDial       func(addr string) (net.Conn, error)
+}
+
+// WithFallbacks adds candidate addresses tried in order after the
+// primary, for clusters where any member may answer.
+func WithFallbacks(addrs ...string) DialOption {
+	return func(d *dialConfig) { d.fallbacks = append(d.fallbacks, addrs...) }
+}
+
+// RequireLeader makes Dial probe each candidate's ROLE and keep only a
+// node answering "leader" — so writes land somewhere that accepts them.
+// Without it Dial keeps the first node that answers at all.
+func RequireLeader() DialOption {
+	return func(d *dialConfig) { d.requireLeader = true }
+}
+
+// WithNetDial substitutes the transport dialer (testing, proxies).
+func WithNetDial(dial func(addr string) (net.Conn, error)) DialOption {
+	return func(d *dialConfig) { d.netDial = dial }
+}
+
+// Dial connects to a server address. With WithFallbacks the addresses
+// form a candidate list tried in order; with RequireLeader only a node
+// currently serving as leader is kept. The first error per candidate is
+// remembered and the last one surfaces if every candidate fails.
+func Dial(addr string, opts ...DialOption) (*Conn, error) {
+	var cfg dialConfig
+	for _, opt := range opts {
+		opt(&cfg)
 	}
+	if cfg.netDial == nil {
+		cfg.netDial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	candidates := append([]string{addr}, cfg.fallbacks...)
+	var lastErr error
+	for _, cand := range candidates {
+		nc, err := cfg.netDial(cand)
+		if err != nil {
+			lastErr = fmt.Errorf("client: dial %s: %w", cand, err)
+			continue
+		}
+		c := newConn(nc)
+		if cfg.requireLeader {
+			role, err := c.Role()
+			if err != nil {
+				c.Close()
+				lastErr = fmt.Errorf("client: role probe %s: %w", cand, err)
+				continue
+			}
+			if role != "leader" {
+				c.Close()
+				lastErr = fmt.Errorf("client: %s is a %s, not a leader", cand, role)
+				continue
+			}
+		}
+		return c, nil
+	}
+	return nil, lastErr
+}
+
+func newConn(nc net.Conn) *Conn {
 	c := &Conn{
 		nc:        nc,
 		w:         bufio.NewWriterSize(nc, 1<<16),
@@ -160,7 +222,7 @@ func Dial(addr string) (*Conn, error) {
 		done:      make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 // Close tears the connection down. Subscription channels close; blocked
@@ -198,6 +260,10 @@ func (c *Conn) fail(cause error) {
 		close(s.ch)
 	}
 	c.durables = map[string]*DurableSub{}
+	if c.repl != nil {
+		close(c.repl.ch)
+		c.repl = nil
+	}
 	c.mu.Unlock()
 	close(c.done) // wakes reply waiters
 	c.nc.Close()
@@ -230,6 +296,10 @@ func (c *Conn) readLoop() {
 				}
 			}
 			c.mu.Unlock()
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "REPL "); ok {
+			c.routeRepl(rest)
 			continue
 		}
 		if rest, ok := strings.CutPrefix(line, "QEVT "); ok {
@@ -316,6 +386,20 @@ func (c *Conn) call(req string, extra ...string) (string, error) {
 	case <-c.done:
 		return "", c.err
 	}
+}
+
+// Role reports whether the server is a "leader" (accepts writes) or a
+// read-only replication "follower".
+func (c *Conn) Role() (string, error) {
+	return c.call("ROLE")
+}
+
+// Promote asks a follower to become the leader: it stops replicating,
+// re-enables writes, and re-attaches durable queue subscriptions.
+// Returns the server's new role ("leader"). On a node that is already
+// a leader it is a no-op.
+func (c *Conn) Promote() (string, error) {
+	return c.call("PROMOTE")
 }
 
 // Ping round-trips a liveness check.

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// RawRecord is one WAL record received over a replication stream: the
+// leader's LSN, the record type byte, and the opaque record payload.
+// Most programs use internal/repl.Follower (which applies records to a
+// local engine); RawRecord is for tooling that wants the raw stream —
+// audit, offline archival, custom appliers.
+type RawRecord struct {
+	LSN  uint64
+	Type uint8
+	Data []byte
+}
+
+// replWire mirrors the JSON body of a REPL line (internal/repl codec).
+type replWire struct {
+	Type uint8  `json:"t"`
+	Data []byte `json:"d"`
+}
+
+// ReplStream is a live WAL-shipping stream from the server. Receive
+// from C; the channel closes when the stream or connection closes.
+type ReplStream struct {
+	// C delivers WAL records in LSN order.
+	C <-chan RawRecord
+
+	// NextLSN is the end of the server's log at stream start; records
+	// from the requested position up to here are history, everything
+	// after is live tail.
+	NextLSN uint64
+
+	c       *Conn
+	ch      chan RawRecord
+	dropped atomic.Uint64
+}
+
+// Dropped reports records discarded client-side because C's buffer was
+// full when they arrived. A non-zero value means the stream has a gap:
+// resume from the last contiguous LSN with a fresh Replicate call.
+func (s *ReplStream) Dropped() uint64 { return s.dropped.Load() }
+
+// Ack reports replication progress to the server: cursor is the next
+// LSN this client expects. The server surfaces it per connection
+// (Server.ReplicaCursors) for lag monitoring.
+func (s *ReplStream) Ack(cursor uint64) error {
+	_, err := s.c.call("RACK " + strconv.FormatUint(cursor, 10))
+	return err
+}
+
+// Close detaches the stream from the server and closes C.
+func (s *ReplStream) Close() error {
+	s.c.mu.Lock()
+	if s.c.repl != s {
+		s.c.mu.Unlock()
+		return nil // already closed (or the connection died)
+	}
+	s.c.repl = nil
+	close(s.ch)
+	s.c.mu.Unlock()
+	_, err := s.c.call("UNSUB repl")
+	return err
+}
+
+// Replicate starts a WAL-shipping stream from fromLSN (0 or 1 for the
+// whole log). Records arrive on the returned stream's channel
+// (buffered to buffer, default 256) in LSN order: history first, then
+// the live tail as the server commits. One stream per connection.
+func (c *Conn) Replicate(fromLSN uint64, buffer int) (*ReplStream, error) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &ReplStream{c: c, ch: make(chan RawRecord, buffer)}
+	s.C = s.ch
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, c.err
+	}
+	if c.repl != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: a replication stream is already active")
+	}
+	c.repl = s
+	c.mu.Unlock()
+	resp, err := c.call("REPLICATE " + strconv.FormatUint(fromLSN, 10))
+	if err != nil {
+		c.mu.Lock()
+		if c.repl == s {
+			c.repl = nil
+			close(s.ch)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	next, err := strconv.ParseUint(resp, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad REPLICATE reply %q", resp)
+	}
+	s.NextLSN = next
+	return s, nil
+}
+
+// routeRepl parses one pushed "REPL " line and hands it to the active
+// stream. Called from readLoop.
+func (c *Conn) routeRepl(rest string) {
+	sp := strings.IndexByte(rest, ' ')
+	if sp <= 0 {
+		return // malformed push must not kill the connection
+	}
+	lsn, err := strconv.ParseUint(rest[:sp], 10, 64)
+	if err != nil {
+		return
+	}
+	var w replWire
+	if err := json.Unmarshal([]byte(rest[sp+1:]), &w); err != nil {
+		return
+	}
+	rec := RawRecord{LSN: lsn, Type: w.Type, Data: w.Data}
+	c.mu.Lock()
+	if s := c.repl; s != nil {
+		select {
+		case s.ch <- rec:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	c.mu.Unlock()
+}

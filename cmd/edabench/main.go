@@ -1,5 +1,5 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E17 from DESIGN.md, each checking a claim
+// one table per experiment E1–E18 from DESIGN.md, each checking a claim
 // of the tutorial. Run with -quick for smaller sweeps; -shards and
 // -batch pin the E13 pipeline sweep to one configuration; -subs sets
 // the E14 wire-subscriber count and -net points E14's streaming half
@@ -34,6 +34,7 @@ import (
 	"eventdb/internal/pubsub"
 	"eventdb/internal/query"
 	"eventdb/internal/queue"
+	"eventdb/internal/repl"
 	"eventdb/internal/rules"
 	"eventdb/internal/server"
 	"eventdb/internal/storage"
@@ -70,6 +71,7 @@ func main() {
 	e15()
 	e16()
 	e17()
+	e18()
 	writeJSON()
 }
 
@@ -1167,4 +1169,122 @@ func e17() {
 	cleanup()
 	fmt.Printf("| one transaction per queue (pre-change) | %d | %.0f | baseline |\n", queues, 1e9/perNs)
 	fmt.Printf("| group commit (one txn, one fsync) | %d | %.0f | %.1fx |\n", queues, groupOps, perNs/groupNs)
+}
+
+// e18 measures WAL-shipping replication: sustained replicated-commit
+// throughput into a caught-up follower, and the failover latency from
+// promoting that follower to a reconnected durable consumer's first
+// redelivery.
+func e18() {
+	header("E18", "WAL-shipping replication: follower throughput and failover-to-first-delivery latency")
+	mkLeader := func() (*core.Engine, *server.Server, func()) {
+		dir, err := os.MkdirTemp("", "edabench-e18-leader-*")
+		must(err)
+		eng, err := core.Open(core.Config{Dir: dir})
+		must(err)
+		eng.Broker.PersistOnlyQueueSubs(true)
+		must(eng.Broker.AttachStore(eng.DB, "wire_subs", eng.Queues, queue.Config{}, nil))
+		s, err := storage.NewSchema("trades", []storage.Column{
+			{Name: "sym", Kind: val.KindString, NotNull: true},
+			{Name: "qty", Kind: val.KindInt, NotNull: true},
+		})
+		must(err)
+		must(eng.DB.CreateTable(s))
+		srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{})
+		must(err)
+		return eng, srv, func() { srv.Close(); eng.Close(); os.RemoveAll(dir) }
+	}
+	mkFollower := func(addr string, onPromote func(e *core.Engine)) (*core.Engine, *repl.Follower, func()) {
+		dir, err := os.MkdirTemp("", "edabench-e18-follower-*")
+		must(err)
+		eng, err := core.Open(core.Config{Dir: dir})
+		must(err)
+		cfg := repl.Config{Addr: addr, Engine: eng}
+		if onPromote != nil {
+			cfg.OnPromote = func() { onPromote(eng) }
+		}
+		f, err := repl.Start(cfg)
+		must(err)
+		return eng, f, func() { f.Close(); eng.Close(); os.RemoveAll(dir) }
+	}
+
+	// Replicated-commit throughput: leader commits N transactions, the
+	// clock stops when the follower has applied every one of them.
+	N := n(20000, 2000)
+	leng, lsrv, stopLeader := mkLeader()
+	feng, f, stopFollower := mkFollower(lsrv.Addr(), nil)
+	if !f.WaitCursor(leng.DB.WAL().NextLSN(), 30*time.Second) {
+		must(fmt.Errorf("e18: follower never caught up with setup records"))
+	}
+	row := map[string]val.Value{"sym": val.String("ACME"), "qty": val.Int(100)}
+	start := time.Now()
+	for i := 0; i < N; i++ {
+		_, err := leng.DB.Insert("trades", row)
+		must(err)
+	}
+	if !f.WaitCursor(leng.DB.WAL().NextLSN(), 120*time.Second) {
+		must(fmt.Errorf("e18: follower stalled at cursor %d", f.Cursor()))
+	}
+	elapsed := time.Since(start)
+	evPerSec := float64(N) / elapsed.Seconds()
+	nsPerEv := float64(elapsed.Nanoseconds()) / float64(N)
+	applied := feng.DB.WAL().NextLSN() - 1
+	stopFollower()
+	stopLeader()
+	record("e18.repl.throughput", nsPerEv, 0, evPerSec)
+
+	// Failover: stage undelivered events behind a durable binding, let
+	// the follower mirror them, kill the leader, and time promote →
+	// first redelivery on a freshly reconnected consumer.
+	leng, lsrv, stopLeader = mkLeader()
+	feng, f, stopFollower = mkFollower(lsrv.Addr(), func(e *core.Engine) {
+		e.Broker.PersistOnlyQueueSubs(true)
+		must(e.Broker.AttachStore(e.DB, "wire_subs", e.Queues, queue.Config{}, nil))
+	})
+	c1, err := client.Dial(lsrv.Addr())
+	must(err)
+	_, err = c1.DurableSubscribe("fo", "", client.DurableOptions{})
+	must(err)
+	c1.Close()
+	pub, err := client.Dial(lsrv.Addr())
+	must(err)
+	evs := make([]*event.Event, 32)
+	for i := range evs {
+		evs[i] = event.New("order", map[string]any{"qty": 900})
+	}
+	_, err = pub.PublishBatch(evs)
+	must(err)
+	pub.Close()
+	if !f.WaitCursor(leng.DB.WAL().NextLSN(), 30*time.Second) {
+		must(fmt.Errorf("e18: failover follower never caught up"))
+	}
+	stopLeader()
+
+	start = time.Now()
+	_, err = f.Promote()
+	must(err)
+	fsrv, err := server.StartConfig(feng, "127.0.0.1:0", server.Config{})
+	must(err)
+	c2, err := client.Dial(fsrv.Addr())
+	must(err)
+	ds, err := c2.DurableSubscribe("fo", "", client.DurableOptions{})
+	must(err)
+	select {
+	case d := <-ds.C:
+		must(d.Ack())
+	case <-time.After(30 * time.Second):
+		must(fmt.Errorf("e18: no redelivery from promoted leader"))
+	}
+	failover := time.Since(start)
+	c2.Close()
+	fsrv.Close()
+	stopFollower()
+	record("e18.repl.failover_first_delivery", float64(failover.Nanoseconds()), 0, 0)
+
+	fmt.Println("| metric | value |")
+	fmt.Println("|---|---|")
+	fmt.Printf("| replicated commits/sec (follower caught up, %d commits) | %.0f |\n", applied, evPerSec)
+	fmt.Printf("| ns per replicated commit | %.0f |\n", nsPerEv)
+	fmt.Printf("| failover: promote → first redelivery | %s |\n", failover.Round(time.Microsecond))
+	fmt.Println()
 }

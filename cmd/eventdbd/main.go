@@ -6,6 +6,7 @@
 //	         [-drop-on-full] [-max-conns n] [-sub-buffer n]
 //	         [-visibility d] [-queue-max-attempts n] [-queue-prefetch n]
 //	         [-watch-interval d] [-rule name=condition]...
+//	         [-follow leader-addr] [-rack-every n] [-promote-after d]
 //
 // Foreign systems speak the streaming line protocol documented in
 // internal/server: they publish JSON events (PUB, and PUBB for
@@ -40,6 +41,16 @@
 // both the ingest shards and each connection's outbound push queue,
 // whose capacity -sub-buffer sets. -max-conns caps concurrent client
 // connections; excess connections are refused at the protocol level.
+//
+// With -follow the process starts as a read-only replication follower:
+// it tails the named leader's WAL over the wire (REPLICATE), applies
+// every record to its own durable engine, and serves reads
+// (SELECT/SUB/MATCH/CQ/REPLAY) while refusing writes with "ERR
+// readonly". PROMOTE (or leader silence longer than -promote-after)
+// flips it into a leader: replication stops, writes open up, and
+// durable queue subscriptions re-attach. -rack-every tunes how often
+// the follower reports its cursor back to the leader. -follow requires
+// -dir: replication is WAL shipping, so both ends must be durable.
 package main
 
 import (
@@ -55,6 +66,7 @@ import (
 	"eventdb"
 	"eventdb/internal/core"
 	"eventdb/internal/queue"
+	"eventdb/internal/repl"
 	"eventdb/internal/server"
 )
 
@@ -80,6 +92,9 @@ func main() {
 	queueMaxAttempts := flag.Int("queue-max-attempts", 5, "durable queue delivery attempts before dead-lettering")
 	queuePrefetch := flag.Int("queue-prefetch", 256, "unacknowledged deliveries allowed per durable consumer")
 	watchInterval := flag.Duration("watch-interval", 100*time.Millisecond, "default poll cadence for WATCHed queries without an explicit interval")
+	follow := flag.String("follow", "", "run as a read-only follower replicating from this leader address (requires -dir)")
+	rackEvery := flag.Int("rack-every", 64, "follower: acknowledge the replication cursor every n records")
+	promoteAfter := flag.Duration("promote-after", 0, "follower: self-promote to leader after this much leader silence (0 = manual PROMOTE only)")
 	var ruleDefs ruleFlags
 	flag.Var(&ruleDefs, "rule", "rule as name=condition (repeatable); matches are logged")
 	flag.Parse()
@@ -94,16 +109,21 @@ func main() {
 		log.Fatal(err)
 	}
 	defer eng.Close()
-	if *dir != "" {
-		// Durable wire subscriptions: QSUB filter bindings persist in
-		// the wire_subs table and rebind their queues on restart, so a
-		// bound queue keeps accumulating matches before its consumer
-		// reconnects. Ephemeral SUB/CQ registrations stay out of the
-		// store — their handlers die with their connections.
+	// Durable wire subscriptions: QSUB filter bindings persist in the
+	// wire_subs table and rebind their queues on restart, so a bound
+	// queue keeps accumulating matches before its consumer reconnects.
+	// Ephemeral SUB/CQ registrations stay out of the store — their
+	// handlers die with their connections. On a follower this attach is
+	// deferred to promotion: attaching mutates queue state, and the
+	// leader's own staging replicates over the wire anyway.
+	attachDurableSubs := func() {
 		eng.Broker.PersistOnlyQueueSubs(true)
 		if err := eng.Broker.AttachStore(eng.DB, "wire_subs", eng.Queues, qcfg, nil); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *dir != "" && *follow == "" {
+		attachDurableSubs()
 	}
 	if *shards > 0 {
 		log.Printf("ingest pipeline: %d shards, buffer %d, policy %s",
@@ -133,6 +153,29 @@ func main() {
 	}
 	if *dropOnFull {
 		srvCfg.Overflow = server.DropOnFull
+	}
+	var follower *repl.Follower
+	if *follow != "" {
+		if *dir == "" {
+			log.Fatal("-follow requires -dir: replication ships the WAL, so the follower must be durable")
+		}
+		follower, err = repl.Start(repl.Config{
+			Addr:             *follow,
+			Engine:           eng,
+			RackEvery:        *rackEvery,
+			AutoPromoteAfter: *promoteAfter,
+			OnPromote: func() {
+				log.Printf("promoted to leader (was following %s)", *follow)
+				attachDurableSubs()
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer follower.Close()
+		srvCfg.Promote = follower.Promote
+		log.Printf("following %s (read-only; PROMOTE or -promote-after to take over)", *follow)
 	}
 	srv, err := server.StartConfig(eng, *addr, srvCfg)
 	if err != nil {

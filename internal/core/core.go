@@ -380,6 +380,15 @@ func (e *Engine) IngestAs(principal string, ev *event.Event) error {
 // Ingested reports the number of events pushed through Ingest.
 func (e *Engine) Ingested() uint64 { return e.ingestCount.Load() }
 
+// SetReadOnly flips follower mode on the underlying database: local
+// mutations (DML, DDL, durable enqueues) fail with storage.ErrReadOnly
+// while replicated records keep applying. Ephemeral reads — SELECT,
+// SUB, MATCH — are unaffected.
+func (e *Engine) SetReadOnly(ro bool) { e.DB.SetReadOnly(ro) }
+
+// ReadOnly reports whether the engine is in follower mode.
+func (e *Engine) ReadOnly() bool { return e.DB.ReadOnly() }
+
 // CaptureTable installs an AFTER trigger on a table so every committed
 // change enters the ingest path as a "db.<table>.<op>" event — capture
 // path 1 of the paper.

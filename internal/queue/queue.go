@@ -22,6 +22,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -72,6 +73,11 @@ func NewManager(db *storage.DB) *Manager {
 
 // TableName returns the storage table backing a queue.
 func TableName(queue string) string { return "q_" + queue }
+
+// IsQueueTable reports whether a storage table backs a queue, i.e. was
+// named by TableName. Replication fan-out uses it to avoid publishing
+// staging-table churn as database change events.
+func IsQueueTable(table string) bool { return strings.HasPrefix(table, "q_") }
 
 // Create makes a new queue (its backing table must not exist yet).
 func (m *Manager) Create(name string, cfg Config) (*Queue, error) {

@@ -54,6 +54,11 @@ type cmdSpec struct {
 	tail tailMode
 	// usage is the synopsis quoted in badargs replies.
 	usage string
+	// mutating marks verbs that change durable or queue state; they are
+	// refused with "ERR readonly" while the node is a replication
+	// follower. Ephemeral reads (SELECT, SUB, MATCH, CQ, REPLAY) stay
+	// available on followers.
+	mutating bool
 	// handle runs the command.
 	handle handler
 }
@@ -111,9 +116,10 @@ func init() {
 		handle: func(_ *conn, _ *request) bool { return false }})
 	register("STATS", cmdSpec{usage: "STATS", handle: handleStats})
 
-	// Publish/match: the message-store front door.
-	register("PUB", cmdSpec{tail: requiredTail, usage: "PUB <json-event>", handle: handlePub})
-	register("PUBB", cmdSpec{tail: requiredTail, usage: "PUBB <n>", handle: handlePubBatch})
+	// Publish/match: the message-store front door. Publishing mutates
+	// (rule actions, queue staging); MATCH is evaluation only.
+	register("PUB", cmdSpec{tail: requiredTail, usage: "PUB <json-event>", mutating: true, handle: handlePub})
+	register("PUBB", cmdSpec{tail: requiredTail, usage: "PUBB <n>", mutating: true, handle: handlePubBatch})
 	register("MATCH", cmdSpec{tail: requiredTail, usage: "MATCH <json-event>", handle: handleMatch})
 
 	// Ephemeral push sinks.
@@ -121,25 +127,32 @@ func init() {
 	register("CQ", cmdSpec{args: 1, tail: requiredTail, usage: "CQ <id> <json-spec>", handle: handleCQ})
 	register("UNSUB", cmdSpec{args: 1, usage: "UNSUB <id>", handle: handleUnsub})
 
-	// Durable queue plane.
-	register("QSUB", cmdSpec{args: 2, tail: optionalTail, usage: "QSUB <name> <auto|manual> <filter>", handle: handleQSub})
-	register("CONSUME", cmdSpec{args: 2, usage: "CONSUME <name> <max>", handle: handleConsume})
-	register("ACK", cmdSpec{args: 2, usage: "ACK <name> <receipt>", handle: handleAck})
-	register("NACK", cmdSpec{args: 3, usage: "NACK <name> <receipt> <delay-ms>", handle: handleNack})
+	// Durable queue plane. Everything except introspection and history
+	// replay moves queue state, so it is leader-only.
+	register("QSUB", cmdSpec{args: 2, tail: optionalTail, usage: "QSUB <name> <auto|manual> <filter>", mutating: true, handle: handleQSub})
+	register("CONSUME", cmdSpec{args: 2, usage: "CONSUME <name> <max>", mutating: true, handle: handleConsume})
+	register("ACK", cmdSpec{args: 2, usage: "ACK <name> <receipt>", mutating: true, handle: handleAck})
+	register("NACK", cmdSpec{args: 3, usage: "NACK <name> <receipt> <delay-ms>", mutating: true, handle: handleNack})
 	register("QSTATS", cmdSpec{args: 1, usage: "QSTATS <name>", handle: handleQStats})
 	register("REPLAY", cmdSpec{args: 2, usage: "REPLAY <name> <from-lsn>", handle: handleReplay})
 
 	// Database plane: DDL, DML, one-shot reads, triggers, watched
 	// queries (see dbcmds.go).
-	register("TABLE", cmdSpec{tail: requiredTail, usage: "TABLE <json-spec>", handle: handleTable})
-	register("INSERT", cmdSpec{args: 1, tail: requiredTail, usage: "INSERT <table> <json-values>", handle: handleInsert})
-	register("UPDATE", cmdSpec{args: 1, tail: requiredTail, usage: "UPDATE <table> <json: where/set>", handle: handleUpdate})
-	register("DELETE", cmdSpec{args: 1, tail: requiredTail, usage: "DELETE <table> <json: where>", handle: handleDelete})
+	register("TABLE", cmdSpec{tail: requiredTail, usage: "TABLE <json-spec>", mutating: true, handle: handleTable})
+	register("INSERT", cmdSpec{args: 1, tail: requiredTail, usage: "INSERT <table> <json-values>", mutating: true, handle: handleInsert})
+	register("UPDATE", cmdSpec{args: 1, tail: requiredTail, usage: "UPDATE <table> <json: where/set>", mutating: true, handle: handleUpdate})
+	register("DELETE", cmdSpec{args: 1, tail: requiredTail, usage: "DELETE <table> <json: where>", mutating: true, handle: handleDelete})
 	register("SELECT", cmdSpec{tail: requiredTail, usage: "SELECT <json-spec>", handle: handleSelect})
-	register("TRIG", cmdSpec{args: 1, tail: requiredTail, usage: "TRIG <name> <json-spec>", handle: handleTrig})
-	register("UNTRIG", cmdSpec{args: 1, usage: "UNTRIG <name>", handle: handleUntrig})
-	register("WATCH", cmdSpec{args: 1, tail: requiredTail, usage: "WATCH <name> <json-spec>", handle: handleWatch})
-	register("UNWATCH", cmdSpec{args: 1, usage: "UNWATCH <name>", handle: handleUnwatch})
+	register("TRIG", cmdSpec{args: 1, tail: requiredTail, usage: "TRIG <name> <json-spec>", mutating: true, handle: handleTrig})
+	register("UNTRIG", cmdSpec{args: 1, usage: "UNTRIG <name>", mutating: true, handle: handleUntrig})
+	register("WATCH", cmdSpec{args: 1, tail: requiredTail, usage: "WATCH <name> <json-spec>", mutating: true, handle: handleWatch})
+	register("UNWATCH", cmdSpec{args: 1, usage: "UNWATCH <name>", mutating: true, handle: handleUnwatch})
+
+	// Replication plane (replcmds.go): WAL shipping and promotion.
+	register("REPLICATE", cmdSpec{args: 1, usage: "REPLICATE <from-lsn>", handle: handleReplicate})
+	register("RACK", cmdSpec{args: 1, usage: "RACK <cursor>", handle: handleRack})
+	register("PROMOTE", cmdSpec{usage: "PROMOTE", handle: handlePromote})
+	register("ROLE", cmdSpec{usage: "ROLE", handle: handleRole})
 }
 
 // dispatch parses and runs one command line. The only framing decision
@@ -154,6 +167,10 @@ func dispatch(c *conn, line string) bool {
 	req, problem := spec.parse(rest, c.br)
 	if problem != "" {
 		c.errf(codeBadArgs, "%s (usage: %s)", problem, spec.usage)
+		return true
+	}
+	if spec.mutating && c.srv.eng.ReadOnly() {
+		c.errf(codeReadonly, "%s refused: this node is a read-only follower (PROMOTE to enable writes)", strings.ToUpper(verb))
 		return true
 	}
 	return spec.handle(c, req)

@@ -46,6 +46,9 @@ const (
 	codeNotDurable = "notdurable"
 	// codeLimit: a server resource limit refused the operation.
 	codeLimit = "limit"
+	// codeReadonly: the node is a replication follower; mutating verbs
+	// are refused until it is promoted to leader.
+	codeReadonly = "readonly"
 	// codeInternal: an engine-side failure not attributable to the
 	// request.
 	codeInternal = "internal"

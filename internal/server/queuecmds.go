@@ -87,10 +87,15 @@ func (c *conn) bindQueue(name, filter string) error {
 
 // lookupQueue finds an attached queue, or attaches to its recovered
 // table. Unlike QSUB it never creates: pulling from a queue that was
-// never bound is a client mistake worth surfacing.
+// never bound is a client mistake worth surfacing. On a read-only
+// follower no queue is ever attached (attaching mutates message
+// state), so the lookup reports absence instead of attaching.
 func (c *conn) lookupQueue(name string) (*queue.Queue, error) {
 	if q, ok := c.srv.eng.Queues.Get(name); ok {
 		return q, nil
+	}
+	if c.srv.eng.ReadOnly() {
+		return nil, fmt.Errorf("%w: queue %q is not attached on this read-only follower", queue.ErrNotFound, name)
 	}
 	return c.srv.eng.Queues.Open(name, c.srv.cfg.Queue)
 }

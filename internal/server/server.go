@@ -168,6 +168,12 @@ type Config struct {
 	// WatchInterval is the default poll cadence for WATCHed queries
 	// whose spec does not set interval_ms (default 100ms).
 	WatchInterval time.Duration
+	// Promote is the follower-promotion hook wired by the process that
+	// owns the replication follower (cmd/eventdbd -follow). It performs
+	// the leader transition and returns the node's new role. Nil means
+	// the node has no follower machinery: PROMOTE replies "OK leader"
+	// if writes are already enabled and errors otherwise.
+	Promote func() (string, error)
 }
 
 const (
@@ -242,6 +248,22 @@ func (s *Server) ConnCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.conns)
+}
+
+// ReplicaCursors reports the latest RACKed cursor of every live
+// replication stream, keyed by connection id. A cursor is the next
+// LSN the follower expects: everything below it is applied and
+// durable on that replica (the input to Checkpoint decisions).
+func (s *Server) ReplicaCursors() map[uint64]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]uint64)
+	for c := range s.conns {
+		if c.hasSink(replSinkID) {
+			out[c.id] = c.replCursor.Load()
+		}
+	}
+	return out
 }
 
 // Close stops accepting, then closes live client connections and waits
@@ -358,8 +380,9 @@ type conn struct {
 	stop       chan struct{} // closed at teardown; unblocks producers
 	writerDone chan struct{} // closed when the writer goroutine exits
 
-	sent    atomic.Uint64 // lines actually written
-	dropped atomic.Uint64 // EVT pushes lost to DropOnFull
+	sent       atomic.Uint64 // lines actually written
+	dropped    atomic.Uint64 // EVT pushes lost to DropOnFull
+	replCursor atomic.Uint64 // latest RACKed cursor from a REPLICATE peer
 
 	mu    sync.Mutex
 	sinks map[string]sink // local id → registered delivery sink

@@ -95,6 +95,11 @@ type DB struct {
 	beforeHooks map[string][]*beforeEntry
 	commitHooks []*commitEntry
 	hookID      atomic.Uint64
+
+	// readonly gates every local mutation path (follower mode). The
+	// replication apply path bypasses it: ApplyReplicated is the one
+	// writer a read-only database accepts.
+	readonly atomic.Bool
 }
 
 type beforeEntry struct {
@@ -138,25 +143,8 @@ func (db *DB) recover() error {
 			if err != nil {
 				return fmt.Errorf("storage: recover commit lsn=%d: %w", r.LSN, err)
 			}
-			for i := range changes {
-				c := &changes[i]
-				t, ok := db.tables[c.Table]
-				if !ok {
-					return fmt.Errorf("storage: recover: unknown table %q at lsn=%d", c.Table, r.LSN)
-				}
-				t.mu.Lock()
-				switch c.Kind {
-				case Insert:
-					t.applyInsert(c.ID, c.New)
-				case Update:
-					old := t.rows[c.ID]
-					t.applyUpdate(c.ID, old, c.New)
-				case Delete:
-					old := t.rows[c.ID]
-					t.applyDelete(c.ID, old)
-				}
-				t.version++
-				t.mu.Unlock()
+			if err := db.applyChanges(changes); err != nil {
+				return fmt.Errorf("storage: recover lsn=%d: %w", r.LSN, err)
 			}
 			db.seq.Add(1)
 		case recCreateTable:
@@ -180,6 +168,36 @@ func (db *DB) recover() error {
 		}
 		return nil
 	})
+}
+
+// applyChanges applies already-committed changes to in-memory table
+// state, taking each table's lock per change. Shared by WAL recovery
+// and the replication apply path; validation already happened on the
+// side that logged the commit.
+func (db *DB) applyChanges(changes []Change) error {
+	for i := range changes {
+		c := &changes[i]
+		db.mu.RLock()
+		t, ok := db.tables[c.Table]
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("storage: apply: unknown table %q", c.Table)
+		}
+		t.mu.Lock()
+		switch c.Kind {
+		case Insert:
+			t.applyInsert(c.ID, c.New)
+		case Update:
+			old := t.rows[c.ID]
+			t.applyUpdate(c.ID, old, c.New)
+		case Delete:
+			old := t.rows[c.ID]
+			t.applyDelete(c.ID, old)
+		}
+		t.version++
+		t.mu.Unlock()
+	}
+	return nil
 }
 
 // Durable reports whether the database is WAL-backed.
@@ -211,8 +229,96 @@ func (db *DB) Sync() error {
 // callers can distinguish a name collision from other failures.
 var ErrExists = errors.New("storage: already exists")
 
+// ErrReadOnly is returned for local mutations attempted while the
+// database is in follower (read-only) mode.
+var ErrReadOnly = errors.New("storage: database is read-only")
+
+// SetReadOnly flips follower mode: while set, every local mutation
+// (commits, DDL) fails with ErrReadOnly. ApplyReplicated bypasses the
+// gate so a follower can keep mirroring its leader.
+func (db *DB) SetReadOnly(ro bool) { db.readonly.Store(ro) }
+
+// ReadOnly reports whether the database is in follower mode.
+func (db *DB) ReadOnly() bool { return db.readonly.Load() }
+
+// ApplyReplicated re-logs and applies one leader WAL record on a
+// follower. The record is appended verbatim so the follower's LSN
+// space mirrors the leader's 1:1; if the local append lands on any
+// other LSN the logs have diverged and an error is returned before
+// anything is applied to table state. Commit hooks fire as usual, so
+// journal mining and REPLAY keep working on followers.
+func (db *DB) ApplyReplicated(r wal.Record) error {
+	if db.log == nil {
+		return errors.New("storage: ApplyReplicated requires a durable (WAL-backed) database")
+	}
+	if err := db.applyReplicatedLocked(r); err != nil {
+		return err
+	}
+	db.deliverPending()
+	return nil
+}
+
+func (db *DB) applyReplicatedLocked(r wal.Record) error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	lsn, err := db.log.Append(r.Type, r.Data)
+	if err != nil {
+		return fmt.Errorf("storage: replicated append: %w", err)
+	}
+	if lsn != r.LSN {
+		return fmt.Errorf("storage: replica diverged: leader record lsn=%d landed at local lsn=%d", r.LSN, lsn)
+	}
+	switch r.Type {
+	case recCommit:
+		_, changes, err := decodeCommit(r.Data)
+		if err != nil {
+			return fmt.Errorf("storage: replicated commit lsn=%d: %w", r.LSN, err)
+		}
+		if err := db.applyChanges(changes); err != nil {
+			return fmt.Errorf("storage: replicated apply lsn=%d: %w", r.LSN, err)
+		}
+		info := &CommitInfo{LSN: r.LSN, Changes: changes}
+		info.Seq = db.seq.Add(1)
+		db.pendingMu.Lock()
+		db.pending = append(db.pending, info)
+		db.pendingMu.Unlock()
+	case recCreateTable:
+		s, err := decodeSchema(r.Data)
+		if err != nil {
+			return fmt.Errorf("storage: replicated schema lsn=%d: %w", r.LSN, err)
+		}
+		db.mu.Lock()
+		if _, exists := db.tables[s.Name]; exists {
+			db.mu.Unlock()
+			return fmt.Errorf("storage: replicated create of existing table %q", s.Name)
+		}
+		db.tables[s.Name] = newTable(s)
+		db.mu.Unlock()
+	case recCreateIndex:
+		tbl, name, kind, unique, cols, err := decodeIndexDef(r.Data)
+		if err != nil {
+			return fmt.Errorf("storage: replicated index lsn=%d: %w", r.LSN, err)
+		}
+		db.mu.RLock()
+		t, ok := db.tables[tbl]
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("storage: replicated index on unknown table %q", tbl)
+		}
+		if err := t.buildIndex(name, kind, unique, cols); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("storage: replicated record lsn=%d has unknown type %d", r.LSN, r.Type)
+	}
+	return nil
+}
+
 // CreateTable registers a new table.
 func (db *DB) CreateTable(s *Schema) error {
+	if db.readonly.Load() {
+		return ErrReadOnly
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, exists := db.tables[s.Name]; exists {
@@ -229,6 +335,9 @@ func (db *DB) CreateTable(s *Schema) error {
 
 // CreateIndex builds a secondary index over existing rows.
 func (db *DB) CreateIndex(table, name string, cols []string, kind IndexKind, unique bool) error {
+	if db.readonly.Load() {
+		return ErrReadOnly
+	}
 	db.mu.RLock()
 	t, ok := db.tables[table]
 	db.mu.RUnlock()
@@ -381,6 +490,9 @@ func (db *DB) deliverPending() {
 func (db *DB) commitLocked(ops []txnOp) (*CommitInfo, error) {
 	if len(ops) == 0 {
 		return &CommitInfo{}, nil
+	}
+	if db.readonly.Load() {
+		return nil, ErrReadOnly
 	}
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()

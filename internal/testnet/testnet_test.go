@@ -1,0 +1,236 @@
+package testnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client side and the raw server side of an
+// in-memory connection.
+func pipe(t *testing.T) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return Wrap(a), b
+}
+
+// readAll drains nc until EOF/error on a goroutine and returns a
+// channel carrying everything read.
+func readAll(nc net.Conn) <-chan []byte {
+	out := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, nc)
+		out <- buf.Bytes()
+	}()
+	return out
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	fc, raw := pipe(t)
+	got := readAll(raw)
+	if _, err := fc.Write([]byte("hello\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	fc.Close()
+	if s := string(<-got); s != "hello\n" {
+		t.Fatalf("passthrough write = %q", s)
+	}
+}
+
+func TestWriteChunkWritesAllBytes(t *testing.T) {
+	fc, raw := pipe(t)
+	fc.SetWriteChunk(3)
+	msg := []byte("0123456789abcdef\n")
+	got := readAll(raw)
+	n, err := fc.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("chunked write = (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	fc.Close()
+	if !bytes.Equal(<-got, msg) {
+		t.Fatalf("chunked write dropped bytes")
+	}
+}
+
+func TestCorruptWriteXORs(t *testing.T) {
+	fc, raw := pipe(t)
+	// Two writes: the offset is absolute across the write stream.
+	fc.CorruptWrite(6, 0xFF)
+	got := readAll(raw)
+	fc.Write([]byte("abcd"))
+	fc.Write([]byte("efgh"))
+	fc.Close()
+	want := []byte("abcdefgh")
+	want[6] ^= 0xFF
+	if g := <-got; !bytes.Equal(g, want) {
+		t.Fatalf("corrupted stream = %q, want %q", g, want)
+	}
+}
+
+func TestKillOnWriteWithholdsMatchedLine(t *testing.T) {
+	fc, raw := pipe(t)
+	fc.KillOnWrite(func(line []byte) bool { return bytes.HasPrefix(line, []byte("BAD")) })
+	got := readAll(raw)
+	if _, err := fc.Write([]byte("ok 1\nok 2\nBAD 3\nnever\n")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("write past kill = %v, want ErrKilled", err)
+	}
+	if s := string(<-got); s != "ok 1\nok 2\n" {
+		t.Fatalf("delivered %q, want the two ok lines only", s)
+	}
+	if !fc.Killed() {
+		t.Fatal("connection not marked killed")
+	}
+	if _, err := fc.Write([]byte("more\n")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("write after kill = %v, want ErrKilled", err)
+	}
+}
+
+func TestKillOnWriteLineSplitAcrossWrites(t *testing.T) {
+	fc, raw := pipe(t)
+	fc.KillOnWrite(func(line []byte) bool { return bytes.HasPrefix(line, []byte("KILL")) })
+	got := readAll(raw)
+	fc.Write([]byte("fine\nKI"))
+	if _, err := fc.Write([]byte("LL now\n")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("split-line kill = %v, want ErrKilled", err)
+	}
+	// The partial "KI" was already on the wire before the predicate
+	// could see the full line; only the fine line plus that prefix may
+	// arrive, never the line's completion.
+	if s := string(<-got); s != "fine\nKI" {
+		t.Fatalf("delivered %q, want %q", s, "fine\nKI")
+	}
+}
+
+func TestKillOnReadWithholdsMatchedLine(t *testing.T) {
+	fc, raw := pipe(t)
+	fc.KillOnRead(func(line []byte) bool { return bytes.HasPrefix(line, []byte("DIE")) })
+	go func() {
+		raw.Write([]byte("a\nb\nDIE\nc\n"))
+	}()
+	var buf bytes.Buffer
+	tmp := make([]byte, 64)
+	var readErr error
+	for {
+		n, err := fc.Read(tmp)
+		buf.Write(tmp[:n])
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	if !errors.Is(readErr, ErrKilled) {
+		t.Fatalf("read after kill = %v, want ErrKilled", readErr)
+	}
+	if s := buf.String(); s != "a\nb\n" {
+		t.Fatalf("delivered %q, want %q", s, "a\nb\n")
+	}
+}
+
+func TestKillAtLSN(t *testing.T) {
+	pred := lineLSNAtLeast("REPL", 42)
+	for _, tc := range []struct {
+		line string
+		want bool
+	}{
+		{"REPL 41 {\"x\":1}\n", false},
+		{"REPL 42 {\"x\":1}\n", true},
+		{"REPL 100 body\n", true},
+		{"RACK 42\n", false},
+		{"REPL x\n", false},
+	} {
+		if got := pred([]byte(tc.line)); got != tc.want {
+			t.Errorf("pred(%q) = %v, want %v", tc.line, got, tc.want)
+		}
+	}
+
+	fc, raw := pipe(t)
+	fc.KillAtLSN("REPL", 2)
+	got := readAll(raw)
+	if _, err := fc.Write([]byte("REPL 1 a\nREPL 2 b\n")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("write = %v, want ErrKilled", err)
+	}
+	if s := string(<-got); s != "REPL 1 a\n" {
+		t.Fatalf("delivered %q, want record 1 only", s)
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	fc, raw := pipe(t)
+	fc.SetWriteLatency(30 * time.Millisecond)
+	got := readAll(raw)
+	start := time.Now()
+	fc.Write([]byte("x\n"))
+	fc.Close()
+	<-got
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("write completed in %v, want >= 30ms", el)
+	}
+}
+
+func TestListenerAcceptHookAndKillAll(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hooked atomic.Int32
+	ln := WrapListener(raw, func(c *Conn) { hooked.Add(1) })
+	defer ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				io.Copy(io.Discard, nc)
+			}(nc)
+		}
+	}()
+
+	var clients []net.Conn
+	for i := 0; i < 2; i++ {
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		clients = append(clients, nc)
+	}
+	// Wait until both sides are accepted and recorded.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ln.Conns()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("accepted %d conns, want 2", len(ln.Conns()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := hooked.Load(); n != 2 {
+		t.Fatalf("OnAccept ran %d times, want 2", n)
+	}
+	ln.KillAll()
+	for _, c := range ln.Conns() {
+		if !c.Killed() {
+			t.Fatal("KillAll left a connection alive")
+		}
+	}
+	// The killed server side surfaces to the client as EOF/reset.
+	buf := make([]byte, 1)
+	clients[0].SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := clients[0].Read(buf); err == nil {
+		t.Fatal("read on a killed connection succeeded")
+	} else if strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("read did not observe the kill: %v", err)
+	}
+	ln.Close()
+	<-done
+}
