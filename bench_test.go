@@ -1335,6 +1335,77 @@ func BenchmarkE17WireFanout(b *testing.B) {
 	reportEventsPerSec(b, b.N)
 }
 
+// BenchmarkE19WireTextFanout / BenchmarkE19WireBinaryFanout compare
+// the two negotiated wires (PROTOCOL.md) on the same fan-out shape as
+// E17: one published event pushed to 64 subscriber connections. The
+// binary variant differs only in dialing with WithBinary, which flips
+// every connection to length-prefixed frames — zero per-sink payload
+// copies on the server, zero-copy frame decode on each client.
+func BenchmarkE19WireTextFanout(b *testing.B)   { benchE19Fanout(b) }
+func BenchmarkE19WireBinaryFanout(b *testing.B) { benchE19Fanout(b, client.WithBinary()) }
+
+func benchE19Fanout(b *testing.B, opts ...client.Option) {
+	const sinks = 64
+	eng, err := core.Open(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	subs := make([]*client.Subscription, sinks)
+	for i := range subs {
+		c, err := client.Dial(srv.Addr(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		sub, err := c.Subscribe("s", "", 8192)
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	pub, err := client.Dial(srv.Addr(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pub.Close() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, sub := range subs {
+		wg.Add(1)
+		go func(sub *client.Subscription) {
+			defer wg.Done()
+			// Same drop-tolerant drain as E17: a dropped push never
+			// arrives, so waiting for exactly b.N events would hang.
+			received := 0
+			for received < b.N {
+				select {
+				case _, ok := <-sub.C:
+					if !ok {
+						b.Error("subscription closed")
+						return
+					}
+					received++
+				case <-time.After(100 * time.Millisecond):
+					if received+int(sub.Dropped()) >= b.N {
+						return
+					}
+				}
+			}
+		}(sub)
+	}
+	e15Publish(b, pub, b.N)
+	wg.Wait()
+	b.StopTimer()
+	reportEventsPerSec(b, b.N)
+}
+
 // reportEventsPerSec attaches an events/sec metric alongside ns/op.
 func reportEventsPerSec(b *testing.B, events int) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {

@@ -32,10 +32,34 @@
 // dropped client-side and counted (Subscription.Dropped) — a slow
 // consumer loses pushes rather than stalling every subscription on the
 // connection. Size the channel (or drain faster) to taste.
+//
+// # Wire modes
+//
+// By default the client speaks the legacy text line protocol, which
+// every server version understands. WithBinary negotiates the
+// length-prefixed binary frame protocol (HELLO 2, see PROTOCOL.md)
+// during Dial — pushed events then skip line formatting and prefix
+// scanning on both sides — and WithPark additionally asks the server
+// to park the connection's reader goroutine while it idles. Both
+// degrade gracefully: against a server that predates HELLO the
+// connection silently stays on the text protocol (check Conn.Binary
+// when it matters).
+//
+// # Dial options
+//
+// Dial is configured with functional options of type Option
+// (WithFallbacks, RequireLeader, WithNetDial, WithBinary, WithPark,
+// WithSubBuffer). Code written against the older DialOption name needs
+// no changes — DialOption is now an alias of Option and every option
+// constructor returns a value usable as either — but new code should
+// spell the type Option; DialOption is deprecated and kept only for
+// compatibility.
 package client
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -46,6 +70,7 @@ import (
 
 	"eventdb/internal/cq"
 	"eventdb/internal/event"
+	"eventdb/internal/frame"
 )
 
 // Event is the event record exchanged with the server (an alias of the
@@ -128,10 +153,13 @@ func serverError(payload string) *Error {
 
 // Conn is a connection to an eventdb server. Safe for concurrent use.
 type Conn struct {
-	nc net.Conn
+	nc     net.Conn
+	binary bool // negotiated binary frame mode (HELLO 2)
+	parked bool // server granted the park flag
+	subBuf int  // default subscription channel buffer (WithSubBuffer)
 
 	sendMu  sync.Mutex       // serializes request writes with waiter order
-	w       *bufio.Writer    // guarded by sendMu
+	tr      transport        // guarded by sendMu for sends; recv is readLoop-only
 	pending chan chan string // FIFO of reply waiters
 
 	mu        sync.Mutex // guards subs/durables/consumers, closed, err, and channel closes
@@ -145,38 +173,73 @@ type Conn struct {
 	done chan struct{} // closed when the connection dies
 }
 
-// DialOption customizes Dial (candidate fallbacks, leader routing).
-type DialOption func(*dialConfig)
+// Option customizes Dial: candidate fallbacks, leader routing, wire
+// mode, buffer defaults. This is the canonical option type; the
+// deprecated DialOption alias keeps older code compiling unchanged.
+type Option func(*dialConfig)
+
+// DialOption is the former name of Option.
+//
+// Deprecated: use Option. The alias is identical in every way and will
+// be kept for compatibility, but new code should not spell it.
+type DialOption = Option
 
 type dialConfig struct {
 	fallbacks     []string
 	requireLeader bool
 	netDial       func(addr string) (net.Conn, error)
+	binary        bool
+	park          bool
+	subBuffer     int
 }
 
 // WithFallbacks adds candidate addresses tried in order after the
 // primary, for clusters where any member may answer.
-func WithFallbacks(addrs ...string) DialOption {
+func WithFallbacks(addrs ...string) Option {
 	return func(d *dialConfig) { d.fallbacks = append(d.fallbacks, addrs...) }
 }
 
 // RequireLeader makes Dial probe each candidate's ROLE and keep only a
 // node answering "leader" — so writes land somewhere that accepts them.
 // Without it Dial keeps the first node that answers at all.
-func RequireLeader() DialOption {
+func RequireLeader() Option {
 	return func(d *dialConfig) { d.requireLeader = true }
 }
 
 // WithNetDial substitutes the transport dialer (testing, proxies).
-func WithNetDial(dial func(addr string) (net.Conn, error)) DialOption {
+func WithNetDial(dial func(addr string) (net.Conn, error)) Option {
 	return func(d *dialConfig) { d.netDial = dial }
+}
+
+// WithBinary negotiates the binary frame protocol (HELLO 2) during
+// Dial. Against a server that predates HELLO the connection silently
+// falls back to the text protocol; Conn.Binary reports the outcome.
+func WithBinary() Option {
+	return func(d *dialConfig) { d.binary = true }
+}
+
+// WithPark asks the server to park this connection's reader goroutine
+// while the connection idles (implies the HELLO handshake). The server
+// grants it only where supported; Conn.Parked reports the outcome.
+// Parking is invisible to the API — it only changes what an idle
+// connection costs the server.
+func WithPark() Option {
+	return func(d *dialConfig) { d.park = true }
+}
+
+// WithSubBuffer sets the default channel buffer used when Subscribe,
+// ContinuousQuery, DurableSubscribe, or Replicate is called with a
+// non-positive buffer (instead of their built-in defaults of 64 or
+// 256).
+func WithSubBuffer(n int) Option {
+	return func(d *dialConfig) { d.subBuffer = n }
 }
 
 // Dial connects to a server address. With WithFallbacks the addresses
 // form a candidate list tried in order; with RequireLeader only a node
 // currently serving as leader is kept. The first error per candidate is
 // remembered and the last one surfaces if every candidate fails.
-func Dial(addr string, opts ...DialOption) (*Conn, error) {
+func Dial(addr string, opts ...Option) (*Conn, error) {
 	var cfg dialConfig
 	for _, opt := range opts {
 		opt(&cfg)
@@ -192,7 +255,12 @@ func Dial(addr string, opts ...DialOption) (*Conn, error) {
 			lastErr = fmt.Errorf("client: dial %s: %w", cand, err)
 			continue
 		}
-		c := newConn(nc)
+		c, err := newConn(nc, &cfg)
+		if err != nil {
+			nc.Close()
+			lastErr = fmt.Errorf("client: negotiate %s: %w", cand, err)
+			continue
+		}
 		if cfg.requireLeader {
 			role, err := c.Role()
 			if err != nil {
@@ -211,19 +279,44 @@ func Dial(addr string, opts ...DialOption) (*Conn, error) {
 	return nil, lastErr
 }
 
-func newConn(nc net.Conn) *Conn {
+func newConn(nc net.Conn, cfg *dialConfig) (*Conn, error) {
+	br := bufio.NewReaderSize(nc, 1<<16)
+	w := bufio.NewWriterSize(nc, 1<<16)
 	c := &Conn{
 		nc:        nc,
-		w:         bufio.NewWriterSize(nc, 1<<16),
+		subBuf:    cfg.subBuffer,
 		pending:   make(chan chan string, 128),
 		subs:      make(map[string]*Subscription),
 		durables:  make(map[string]*DurableSub),
 		consumers: make(map[string]chan Delivery),
 		done:      make(chan struct{}),
 	}
+	// Mode negotiation happens synchronously, before the read loop owns
+	// the socket: one HELLO round trip, only when an option asked for
+	// something the legacy protocol lacks.
+	if cfg.binary || cfg.park {
+		binary, park, err := negotiate(nc, br, w, cfg.park)
+		if err != nil {
+			return nil, err
+		}
+		c.binary, c.parked = binary, park
+	}
+	if c.binary {
+		c.tr = &binTransport{w: w, fr: frame.NewReader(br)}
+	} else {
+		c.tr = &textTransport{w: w, br: br}
+	}
 	go c.readLoop()
-	return c
+	return c, nil
 }
+
+// Binary reports whether the connection negotiated the binary frame
+// protocol (false means the legacy text protocol, including after a
+// silent fallback against an older server).
+func (c *Conn) Binary() bool { return c.binary }
+
+// Parked reports whether the server granted the WithPark flag.
+func (c *Conn) Parked() bool { return c.parked }
 
 // Close tears the connection down. Subscription channels close; blocked
 // calls fail with ErrClosed.
@@ -269,26 +362,28 @@ func (c *Conn) fail(cause error) {
 	c.nc.Close()
 }
 
-// readLoop owns the socket's read side: pushed EVT lines route to
-// subscription channels, everything else resolves the oldest pending
-// reply waiter (the server replies in request order).
+// readLoop owns the socket's read side: the transport decodes inbound
+// traffic into wire messages, pushes route to subscription channels,
+// and replies resolve the oldest pending waiter (the server replies in
+// request order).
 func (c *Conn) readLoop() {
-	r := bufio.NewReaderSize(c.nc, 1<<16)
 	for {
-		line, err := r.ReadString('\n')
+		m, err := c.tr.recv()
 		if err != nil {
 			c.fail(fmt.Errorf("client: read: %w", err))
 			return
 		}
-		line = strings.TrimRight(line, "\r\n")
-		if rest, ok := strings.CutPrefix(line, "EVT "); ok {
-			id, body, _ := strings.Cut(rest, " ")
-			ev, err := event.UnmarshalJSONEvent([]byte(body))
+		switch m.kind {
+		case wSkip:
+			// A malformed push must not kill the connection.
+			continue
+		case wEvt:
+			ev, err := event.UnmarshalJSONEvent(m.body)
 			if err != nil {
-				continue // a malformed push must not kill the connection
+				continue
 			}
 			c.mu.Lock()
-			if s, ok := c.subs[id]; ok {
+			if s, ok := c.subs[m.id]; ok {
 				select {
 				case s.ch <- ev:
 				default:
@@ -297,26 +392,13 @@ func (c *Conn) readLoop() {
 			}
 			c.mu.Unlock()
 			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "REPL "); ok {
-			c.routeRepl(rest)
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "QEVT "); ok {
-			// QEVT <queue> <receipt> <attempt> <json-event>
-			name, rest, _ := strings.Cut(rest, " ")
-			token, rest, _ := strings.Cut(rest, " ")
-			attemptStr, body, _ := strings.Cut(rest, " ")
-			attempt, err := strconv.Atoi(attemptStr)
+		case wQEvt:
+			ev, err := event.UnmarshalJSONEvent(m.body)
 			if err != nil {
 				continue
 			}
-			ev, err := event.UnmarshalJSONEvent([]byte(body))
-			if err != nil {
-				continue
-			}
-			d := Delivery{Event: ev, Attempt: attempt, queue: name, token: token, c: c}
-			if lsnStr, ok := strings.CutPrefix(token, "h"); ok {
+			d := Delivery{Event: ev, Attempt: m.attempt, queue: m.queue, token: m.token, c: c}
+			if lsnStr, ok := strings.CutPrefix(m.token, "h"); ok {
 				// Historical replay delivery: carries a journal
 				// position instead of an ackable receipt.
 				if lsn, err := strconv.ParseUint(lsnStr, 10, 64); err == nil {
@@ -324,8 +406,13 @@ func (c *Conn) readLoop() {
 				}
 			}
 			c.mu.Lock()
-			c.routeDelivery(name, d)
+			c.routeDelivery(m.queue, d)
 			c.mu.Unlock()
+			continue
+		}
+		line := m.line
+		if rest, ok := strings.CutPrefix(line, "REPL "); ok {
+			c.routeRepl(rest)
 			continue
 		}
 		select {
@@ -345,33 +432,33 @@ func (c *Conn) readLoop() {
 	}
 }
 
-// call sends one request (plus optional extra lines, for batches) and
-// waits for its single-line reply, with "ERR" replies surfaced as
+// call sends one request (plus optional extra body lines, for batches)
+// and waits for its single-line reply, with "ERR" replies surfaced as
 // errors and the "OK " prefix stripped.
 func (c *Conn) call(req string, extra ...string) (string, error) {
+	return c.roundTrip(func() error { return c.tr.send(req, extra...) })
+}
+
+// roundTrip enqueues a reply waiter, runs one transport write under
+// sendMu, and waits for the reply. The waiter is queued before the
+// flush: the reply can arrive the moment the bytes hit the wire, and
+// the reader must find it pending. The done case keeps a full pending
+// queue on a dead connection from wedging the caller (and sendMu)
+// forever.
+func (c *Conn) roundTrip(send func() error) (string, error) {
 	waiter := make(chan string, 1)
 	c.sendMu.Lock()
 	if err := c.Err(); err != nil {
 		c.sendMu.Unlock()
 		return "", err
 	}
-	// Queue the waiter before flushing: the reply can arrive the moment
-	// the bytes hit the wire, and the reader must find it pending. The
-	// done case keeps a full pending queue on a dead connection from
-	// wedging this caller (and sendMu) forever.
 	select {
 	case c.pending <- waiter:
 	case <-c.done:
 		c.sendMu.Unlock()
 		return "", c.err
 	}
-	c.w.WriteString(req)
-	c.w.WriteByte('\n')
-	for _, line := range extra {
-		c.w.WriteString(line)
-		c.w.WriteByte('\n')
-	}
-	if err := c.w.Flush(); err != nil {
+	if err := send(); err != nil {
 		c.sendMu.Unlock()
 		c.fail(fmt.Errorf("client: write: %w", err))
 		return "", err
@@ -422,7 +509,28 @@ func (c *Conn) Publish(ev *Event) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.call("PUB " + string(data))
+	resp, err := c.roundTrip(func() error { return c.tr.sendEvent(data) })
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(resp)
+	if err != nil {
+		return 0, fmt.Errorf("client: bad PUB reply %q", resp)
+	}
+	return n, nil
+}
+
+// PublishRaw publishes one event from its already-marshaled JSON —
+// the proxy fast path (the HTTP gateway forwards request bodies
+// without decoding them into Events first). The bytes are compacted so
+// embedded newlines cannot break wire framing; the server validates
+// the event itself.
+func (c *Conn) PublishRaw(data []byte) (int, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, data); err != nil {
+		return 0, fmt.Errorf("client: bad event json: %w", err)
+	}
+	resp, err := c.roundTrip(func() error { return c.tr.sendEvent(buf.Bytes()) })
 	if err != nil {
 		return 0, err
 	}
@@ -540,7 +648,11 @@ func (c *Conn) register(id string, buffer int, send func() error) (*Subscription
 		return nil, fmt.Errorf("client: bad subscription id %q", id)
 	}
 	if buffer <= 0 {
-		buffer = 64
+		if c.subBuf > 0 {
+			buffer = c.subBuf
+		} else {
+			buffer = 64
+		}
 	}
 	s := &Subscription{id: id, c: c, ch: make(chan *Event, buffer)}
 	s.C = s.ch
@@ -646,4 +758,25 @@ func (c *Conn) Stats() (Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// StatsJSON fetches the connection counters as the server's JSON form
+// ("STATS format=json") — a single JSON object, raw bytes suitable for
+// forwarding to dashboards or HTTP callers without re-encoding.
+func (c *Conn) StatsJSON() ([]byte, error) {
+	resp, err := c.call("STATS format=json")
+	if err != nil {
+		return nil, err
+	}
+	return []byte(resp), nil
+}
+
+// QueueStatsJSON fetches a durable queue's state counts as the
+// server's JSON form ("QSTATS <name> format=json").
+func (c *Conn) QueueStatsJSON(name string) ([]byte, error) {
+	resp, err := c.call("QSTATS " + name + " format=json")
+	if err != nil {
+		return nil, err
+	}
+	return []byte(resp), nil
 }

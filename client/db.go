@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -148,6 +149,23 @@ func (c *Conn) Select(spec QuerySpec) (*Result, error) {
 		return nil, err
 	}
 	return wiredb.ParseResult([]byte(resp))
+}
+
+// SelectRaw runs a one-shot query from its raw JSON spec and returns
+// the server's raw JSON result undecoded — for proxies (the HTTP
+// gateway) that forward both sides verbatim. The spec is compacted
+// before sending so embedded newlines cannot break wire framing;
+// validation is the server's.
+func (c *Conn) SelectRaw(spec []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, spec); err != nil {
+		return nil, fmt.Errorf("client: bad query spec: %w", err)
+	}
+	resp, err := c.call("SELECT " + buf.String())
+	if err != nil {
+		return nil, err
+	}
+	return []byte(resp), nil
 }
 
 // Trigger registers a named trigger on the server. Triggers are

@@ -164,10 +164,14 @@ func (c *Conn) DurableSubscribe(name, filter string, opts DurableOptions) (*Dura
 	}
 	buffer := opts.Buffer
 	if buffer <= 0 {
-		// Match the server's default prefetch: with the default pairing
-		// the channel can absorb every delivery the server will push
-		// ahead of acknowledgment, so nothing drops.
-		buffer = 256
+		if c.subBuf > 0 {
+			buffer = c.subBuf
+		} else {
+			// Match the server's default prefetch: with the default
+			// pairing the channel can absorb every delivery the server
+			// will push ahead of acknowledgment, so nothing drops.
+			buffer = 256
+		}
 	}
 	mode := "manual"
 	if opts.AutoAck {

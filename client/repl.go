@@ -74,7 +74,11 @@ func (s *ReplStream) Close() error {
 // the live tail as the server commits. One stream per connection.
 func (c *Conn) Replicate(fromLSN uint64, buffer int) (*ReplStream, error) {
 	if buffer <= 0 {
-		buffer = 256
+		if c.subBuf > 0 {
+			buffer = c.subBuf
+		} else {
+			buffer = 256
+		}
 	}
 	s := &ReplStream{c: c, ch: make(chan RawRecord, buffer)}
 	s.C = s.ch

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"eventdb/client"
+	"eventdb/internal/core"
+	"eventdb/internal/event"
+	"eventdb/internal/frame"
+	"eventdb/internal/server"
+)
+
+// E19: the negotiated binary wire. Both measurements push the same
+// ~8KB event stream through the same server to the same number of raw
+// TCP subscribers; the only difference is the wire each connection
+// negotiated — legacy text lines end to end versus HELLO 2 binary
+// frames end to end (internal/frame, PROTOCOL.md). The text path pays
+// a per-sink payload copy into the line buffer plus a per-line scan
+// and allocation on every reader; length-prefixed frames ship the
+// shared encode-once payload with zero per-sink copies and are
+// decoded zero-copy out of the reader's buffer, which is where the
+// throughput gap comes from.
+func e19() {
+	header("E19", "binary wire framing: fan-out push throughput, text lines vs frames (PROTOCOL.md)")
+	N := n(20000, 4000)
+	const sinks = 64
+	fmt.Println("| wire mode | sinks | deliveries/sec | ns/delivery | speedup |")
+	fmt.Println("|---|---|---|---|---|")
+	textOps := e19Run(false, N, sinks)
+	binOps := e19Run(true, N, sinks)
+	record(fmt.Sprintf("e19.wire.text.%d", sinks), 1e9/textOps, 0, textOps)
+	record(fmt.Sprintf("e19.wire.binary.%d", sinks), 1e9/binOps, 0, binOps)
+	fmt.Printf("| text lines (pre-change) | %d | %.0f | %.0f | baseline |\n", sinks, textOps, 1e9/textOps)
+	fmt.Printf("| binary frames (HELLO 2) | %d | %.0f | %.0f | %.1fx |\n", sinks, binOps, 1e9/binOps, binOps/textOps)
+}
+
+// e19Run delivers N events to each of sinks raw subscribers and
+// returns the aggregate delivery rate (deliveries/sec).
+func e19Run(binary bool, N, sinks int) float64 {
+	eng, err := core.Open(core.Config{})
+	must(err)
+	defer eng.Close()
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 8192})
+	must(err)
+	defer srv.Close()
+
+	conns := make([]net.Conn, 0, sinks)
+	defer func() {
+		for _, nc := range conns {
+			nc.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	for s := 0; s < sinks; s++ {
+		nc, err := net.Dial("tcp", srv.Addr())
+		must(err)
+		conns = append(conns, nc)
+		br := bufio.NewReaderSize(nc, 1<<16)
+		if binary {
+			_, err = nc.Write([]byte("HELLO 2\n"))
+			must(err)
+			line, err := br.ReadString('\n')
+			must(err)
+			if strings.TrimSpace(line) != "OK 2" {
+				must(fmt.Errorf("e19: HELLO reply %q", line))
+			}
+			_, err = nc.Write(frame.AppendFrameString(nil, frame.Cmd, "SUB s"))
+			must(err)
+			fr := frame.NewReader(br)
+			typ, payload, err := fr.Next()
+			must(err)
+			if typ != frame.Reply || string(payload) != "OK" {
+				must(fmt.Errorf("e19: SUB reply %s %q", typ, payload))
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for got := 0; got < N; {
+					typ, _, err := fr.Next()
+					must(err)
+					if typ == frame.Evt {
+						got++
+					}
+				}
+			}()
+		} else {
+			_, err = nc.Write([]byte("SUB s\n"))
+			must(err)
+			line, err := br.ReadString('\n')
+			must(err)
+			if strings.TrimSpace(line) != "OK" {
+				must(fmt.Errorf("e19: SUB reply %q", line))
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for got := 0; got < N; {
+					line, err := br.ReadString('\n')
+					must(err)
+					if strings.HasPrefix(line, "EVT ") {
+						got++
+					}
+				}
+			}()
+		}
+	}
+
+	// The publisher speaks the same wire as the subscribers — text PUBB
+	// lines vs Pub frames — so each column measures one mode end to end,
+	// ingest through fan-out.
+	var pubOpts []client.Option
+	if binary {
+		pubOpts = append(pubOpts, client.WithBinary())
+	}
+	pub, err := client.Dial(srv.Addr(), pubOpts...)
+	must(err)
+	defer pub.Close()
+	ev := event.New("trade", map[string]any{"sym": "S7", "price": 10.0, "qty": 1, "note": strings.Repeat("x", 8192)})
+	batch := make([]*event.Event, 64)
+	for i := range batch {
+		batch[i] = ev
+	}
+	start := time.Now()
+	for sent := 0; sent < N; {
+		want := N - sent
+		if want > len(batch) {
+			want = len(batch)
+		}
+		_, err := pub.PublishBatch(batch[:want])
+		must(err)
+		sent += want
+	}
+	wg.Wait()
+	return float64(N*sinks) / time.Since(start).Seconds()
+}

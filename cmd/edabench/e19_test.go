@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// Smoke-tests the E19 harness end to end at tiny scale: both wire
+// modes must deliver every event to every sink and report a rate.
+func TestE19RunBothModes(t *testing.T) {
+	for _, binary := range []bool{false, true} {
+		rate := e19Run(binary, 200, 8)
+		if rate <= 0 {
+			t.Fatalf("binary=%v: rate %f", binary, rate)
+		}
+	}
+}

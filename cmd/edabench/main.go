@@ -1,5 +1,5 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E18 from DESIGN.md, each checking a claim
+// one table per experiment E1–E19 from DESIGN.md, each checking a claim
 // of the tutorial. Run with -quick for smaller sweeps; -shards and
 // -batch pin the E13 pipeline sweep to one configuration; -subs sets
 // the E14 wire-subscriber count and -net points E14's streaming half
@@ -72,6 +72,7 @@ func main() {
 	e16()
 	e17()
 	e18()
+	e19()
 	writeJSON()
 }
 

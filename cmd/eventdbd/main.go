@@ -4,6 +4,7 @@
 //
 //	eventdbd [-addr host:port] [-dir path] [-shards n] [-shard-buffer n]
 //	         [-drop-on-full] [-max-conns n] [-sub-buffer n]
+//	         [-read-timeout d] [-write-timeout d] [-park-after d]
 //	         [-visibility d] [-queue-max-attempts n] [-queue-prefetch n]
 //	         [-watch-interval d] [-rule name=condition]...
 //	         [-follow leader-addr] [-rack-every n] [-promote-after d]
@@ -88,6 +89,9 @@ func main() {
 	dropOnFull := flag.Bool("drop-on-full", false, "drop instead of blocking when a shard buffer or connection push queue is full")
 	maxConns := flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
 	subBuffer := flag.Int("sub-buffer", 256, "per-connection outbound push queue capacity in lines")
+	readTimeout := flag.Duration("read-timeout", 0, "time a client may take to finish sending a started command; idle connections are never killed (0 = unbounded)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-flush bound on outbound socket writes, tearing down half-open clients (0 = unbounded)")
+	parkAfter := flag.Duration("park-after", 100*time.Millisecond, "idle threshold before a park-negotiated connection releases its reader goroutine to the shared poller")
 	visibility := flag.Duration("visibility", 30*time.Second, "durable queue visibility timeout before unacked deliveries retry")
 	queueMaxAttempts := flag.Int("queue-max-attempts", 5, "durable queue delivery attempts before dead-lettering")
 	queuePrefetch := flag.Int("queue-prefetch", 256, "unacknowledged deliveries allowed per durable consumer")
@@ -147,6 +151,9 @@ func main() {
 	srvCfg := server.Config{
 		MaxConns:      *maxConns,
 		SubBuffer:     *subBuffer,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		ParkAfter:     *parkAfter,
 		Queue:         qcfg,
 		QueuePrefetch: *queuePrefetch,
 		WatchInterval: *watchInterval,

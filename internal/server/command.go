@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"strconv"
 	"strings"
 )
@@ -26,13 +25,13 @@ const (
 	requiredTail
 )
 
-// request is one parsed command: the fixed arguments, the free-form
-// tail, and the connection's buffered reader for body-consuming
-// commands (PUBB reads its batch lines through it).
+// request is one parsed command: the fixed arguments and the
+// free-form tail. Body-consuming commands (PUBB) read their batch
+// through conn.readBody, which speaks whichever wire mode the
+// connection negotiated.
 type request struct {
 	args []string
 	tail string
-	r    *bufio.Reader
 }
 
 // int1 parses args[i] as a non-negative int, for handlers with numeric
@@ -66,8 +65,8 @@ type cmdSpec struct {
 // parse splits the post-verb remainder into fixed arguments and tail.
 // It returns a human-readable problem ("" on success) so the dispatch
 // loop stays verb-agnostic.
-func (s *cmdSpec) parse(rest string, r *bufio.Reader) (*request, string) {
-	req := &request{r: r}
+func (s *cmdSpec) parse(rest string) (*request, string) {
+	req := &request{}
 	if s.args > 0 {
 		req.args = make([]string, 0, s.args)
 		for i := 0; i < s.args; i++ {
@@ -109,12 +108,13 @@ func register(verb string, spec cmdSpec) {
 }
 
 func init() {
-	// Liveness and teardown.
+	// Liveness, negotiation, and teardown.
 	register("PING", cmdSpec{usage: "PING",
 		handle: func(c *conn, _ *request) bool { c.reply("PONG"); return true }})
 	register("QUIT", cmdSpec{usage: "QUIT",
 		handle: func(_ *conn, _ *request) bool { return false }})
-	register("STATS", cmdSpec{usage: "STATS", handle: handleStats})
+	register("HELLO", cmdSpec{args: 1, tail: optionalTail, usage: "HELLO <version> [flags]", handle: handleHello})
+	register("STATS", cmdSpec{tail: optionalTail, usage: "STATS [format=json]", handle: handleStats})
 
 	// Publish/match: the message-store front door. Publishing mutates
 	// (rule actions, queue staging); MATCH is evaluation only.
@@ -133,7 +133,7 @@ func init() {
 	register("CONSUME", cmdSpec{args: 2, usage: "CONSUME <name> <max>", mutating: true, handle: handleConsume})
 	register("ACK", cmdSpec{args: 2, usage: "ACK <name> <receipt>", mutating: true, handle: handleAck})
 	register("NACK", cmdSpec{args: 3, usage: "NACK <name> <receipt> <delay-ms>", mutating: true, handle: handleNack})
-	register("QSTATS", cmdSpec{args: 1, usage: "QSTATS <name>", handle: handleQStats})
+	register("QSTATS", cmdSpec{args: 1, tail: optionalTail, usage: "QSTATS <name> [format=json]", handle: handleQStats})
 	register("REPLAY", cmdSpec{args: 2, usage: "REPLAY <name> <from-lsn>", handle: handleReplay})
 
 	// Database plane: DDL, DML, one-shot reads, triggers, watched
@@ -164,7 +164,7 @@ func dispatch(c *conn, line string) bool {
 		c.errf(codeUnknown, "unknown command %q", verb)
 		return true
 	}
-	req, problem := spec.parse(rest, c.br)
+	req, problem := spec.parse(rest)
 	if problem != "" {
 		c.errf(codeBadArgs, "%s (usage: %s)", problem, spec.usage)
 		return true

@@ -31,15 +31,16 @@ func handlePub(c *conn, req *request) bool {
 	return true
 }
 
-// handlePubBatch reads the n event lines of a PUBB and ingests them as
-// one batch through the engine's sharded pipeline. All n lines are
-// consumed even on error, keeping the protocol in sync; it returns
-// false only when line framing is lost (unreadable count) or the
+// handlePubBatch reads the n event bodies of a PUBB — lines in text
+// mode, DATA frames in binary mode — and ingests them as one batch
+// through the engine's sharded pipeline. All n bodies are consumed
+// even on error, keeping the protocol in sync; it returns false only
+// when framing is lost (unreadable count, unreadable body) or the
 // connection itself failed.
 func handlePubBatch(c *conn, req *request) bool {
 	n, err := strconv.Atoi(strings.TrimSpace(req.tail))
 	if err != nil {
-		// Unreadable count: the following lines can't be framed, so the
+		// Unreadable count: the following bodies can't be framed, so the
 		// connection must drop rather than misread events as commands.
 		c.errf(codeBadArgs, "bad batch size %q", req.tail)
 		return false
@@ -47,7 +48,7 @@ func handlePubBatch(c *conn, req *request) bool {
 	if n <= 0 || n > maxBatch {
 		// The count is known, so stay in sync by consuming the batch.
 		for i := 0; i < n; i++ {
-			if _, err := req.r.ReadString('\n'); err != nil {
+			if _, ok := c.readBody(); !ok {
 				return false
 			}
 		}
@@ -57,11 +58,13 @@ func handlePubBatch(c *conn, req *request) bool {
 	evs := make([]*event.Event, 0, n)
 	var firstErr error
 	for i := 0; i < n; i++ {
-		line, err := req.r.ReadString('\n')
-		if err != nil {
+		body, ok := c.readBody()
+		if !ok {
 			return false
 		}
-		ev, err := event.UnmarshalJSONEvent([]byte(strings.TrimRight(line, "\r\n")))
+		// UnmarshalJSONEvent copies its input, so the body buffer may be
+		// reused by the next read.
+		ev, err := event.UnmarshalJSONEvent(body)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("event %d: %w", i, err)
@@ -188,7 +191,16 @@ func handleUnsub(c *conn, req *request) bool {
 	return true
 }
 
-func handleStats(c *conn, _ *request) bool {
+// handleStats reports connection counters. The text field order —
+// sent, dropped, queued, subs, cqs, qsubs — is part of the wire
+// contract (PROTOCOL.md) and must never change; "STATS format=json"
+// returns the same fields, in the same order, as one JSON object so
+// dashboards and the gateway need no key=value scraping.
+func handleStats(c *conn, req *request) bool {
+	format, ok := statsFormat(c, req.tail)
+	if !ok {
+		return true
+	}
 	var subs, cqs, qsubs int
 	c.mu.Lock()
 	for _, s := range c.sinks {
@@ -202,7 +214,26 @@ func handleStats(c *conn, _ *request) bool {
 		}
 	}
 	c.mu.Unlock()
+	if format == "json" {
+		c.reply(fmt.Sprintf(`OK {"sent":%d,"dropped":%d,"queued":%d,"subs":%d,"cqs":%d,"qsubs":%d}`,
+			c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs))
+		return true
+	}
 	c.reply(fmt.Sprintf("OK sent=%d dropped=%d queued=%d subs=%d cqs=%d qsubs=%d",
 		c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs))
 	return true
+}
+
+// statsFormat parses the optional "format=json" tail shared by STATS
+// and QSTATS. ok=false means a bad tail was already answered.
+func statsFormat(c *conn, tail string) (format string, ok bool) {
+	switch strings.TrimSpace(tail) {
+	case "":
+		return "", true
+	case "format=json":
+		return "json", true
+	default:
+		c.errf(codeBadArgs, "unknown stats option %q (want format=json)", strings.TrimSpace(tail))
+		return "", false
+	}
 }

@@ -9,8 +9,8 @@ import "fmt"
 // where <code> is a stable machine-readable token from the list below
 // and <message> is free-form human text. Clients branch on the code
 // (eventdb's client package surfaces it as Error.Code); the message may
-// change between releases, the codes may not. The taxonomy is
-// documented in ARCHITECTURE.md and asserted by the server tests.
+// change between releases, the codes may not. The taxonomy is frozen
+// in PROTOCOL.md §6 and asserted by the server tests.
 const (
 	// codeUnknown: the verb is not in the command registry.
 	codeUnknown = "unknown"

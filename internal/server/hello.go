@@ -1,0 +1,92 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+
+	"eventdb/internal/event"
+)
+
+// HELLO — wire-mode negotiation (PROTOCOL.md §3).
+//
+//	HELLO <version> [flag,flag,...] → "OK <version> [flag,...]"
+//
+// The client names the highest protocol version it speaks and the
+// optional features it wants; the server replies with the version the
+// connection will use (min of both sides, never above
+// protocolVersion) and the subset of flags it grants. The reply goes
+// out in the mode in effect *before* the HELLO; everything after it —
+// both directions — uses the negotiated mode. Negotiation is refused
+// with "ERR conflict" once any sink (SUB/CQ/QSUB/REPLICATE) has ever
+// been registered: flipping the wire encoding under a live push
+// producer would interleave modes mid-stream.
+//
+// Flags:
+//
+//	park — the server may release this connection's reader goroutine
+//	       to a shared epoll poller while it idles. Granted only where
+//	       parking is supported (linux, real TCP socket); silently
+//	       dropped elsewhere, so clients treat the echo as the truth.
+
+func handleHello(c *conn, req *request) bool {
+	ver, err := strconv.Atoi(req.args[0])
+	if err != nil || ver < 1 {
+		c.errf(codeBadArgs, "HELLO needs a protocol version >= 1, got %q", req.args[0])
+		return true
+	}
+	c.mu.Lock()
+	locked := c.everSink
+	c.mu.Unlock()
+	if locked {
+		c.errf(codeConflict, "HELLO must precede any subscription or stream on the connection")
+		return true
+	}
+	if ver > protocolVersion {
+		ver = protocolVersion
+	}
+	var granted []string
+	park := false
+	for _, flag := range strings.Split(req.tail, ",") {
+		if strings.TrimSpace(flag) == "park" && c.parkable() {
+			park = true
+			granted = append(granted, "park")
+		}
+	}
+	line := "OK " + strconv.Itoa(ver)
+	if len(granted) > 0 {
+		line += " " + strings.Join(granted, ",")
+	}
+	// Reply in the current mode, then flip: the next frame or line —
+	// either direction — is in the negotiated mode. No producer can
+	// race the flip (no sink exists, and replies are reader-driven).
+	c.reply(line)
+	c.parkOK = park
+	c.binary = ver >= 2
+	if c.binary && c.fr == nil {
+		c.fr = newFrameReader(c)
+	}
+	return true
+}
+
+// handlePubFrame is the binary publish fast path: the frame payload is
+// the JSON event itself — no verb, no line scan. Semantics match PUB
+// exactly, including the readonly gate dispatch would have applied.
+func handlePubFrame(c *conn, payload []byte) {
+	if c.srv.eng.ReadOnly() {
+		c.errf(codeReadonly, "PUB refused: this node is a read-only follower (PROMOTE to enable writes)")
+		return
+	}
+	// UnmarshalJSONEvent copies everything out of payload, so reusing
+	// the frame reader's buffer for the next frame is safe.
+	ev, err := event.UnmarshalJSONEvent(payload)
+	if err != nil {
+		c.errf(codeBadJSON, "%v", err)
+		return
+	}
+	delivered, err := c.srv.eng.IngestCount(ev)
+	if err != nil {
+		c.errf(codeInternal, "%v", err)
+		return
+	}
+	c.reply("OK " + strconv.Itoa(delivered))
+}

@@ -1,0 +1,148 @@
+//go:build linux
+
+package server
+
+import (
+	"sync"
+	"syscall"
+)
+
+// Idle-subscriber parking, linux implementation. A parked connection
+// has released its reader goroutine entirely; one process-wide epoll
+// poller watches every parked socket and respawns a reader the moment
+// bytes (or a hangup) arrive. With on-demand writer bursts on the
+// other side, an idle subscriber costs zero goroutines — the property
+// that makes 100k+ concurrent SUB connections a memory problem, not a
+// scheduler problem.
+//
+// The poller is a lazily-created singleton shared by every Server in
+// the process (tests start dozens): one goroutine and one epoll fd for
+// the process lifetime is cheaper than per-server lifecycle management
+// and cannot leak per test.
+
+type poller struct {
+	epfd int
+
+	mu    sync.Mutex
+	conns map[int32]*conn // armed fd → parked connection
+}
+
+var (
+	pollerOnce   sync.Once
+	sharedPoller *poller
+	pollerErr    error
+)
+
+func getPoller() (*poller, error) {
+	pollerOnce.Do(func() {
+		epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+		if err != nil {
+			pollerErr = err
+			return
+		}
+		sharedPoller = &poller{epfd: epfd, conns: make(map[int32]*conn)}
+		go sharedPoller.loop()
+	})
+	return sharedPoller, pollerErr
+}
+
+// arm registers fd for one readable/hangup wake-up (EPOLLONESHOT: the
+// kernel disarms after delivery, matching the one-shot unpark).
+func (p *poller) arm(fd int, c *conn) error {
+	ev := &syscall.EpollEvent{
+		Events: syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLHUP | syscall.EPOLLERR | syscall.EPOLLONESHOT,
+		Fd:     int32(fd),
+	}
+	p.mu.Lock()
+	p.conns[int32(fd)] = c
+	p.mu.Unlock()
+	err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, ev)
+	if err == syscall.EEXIST {
+		// The fd stayed registered (disarmed) from a previous park.
+		err = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, fd, ev)
+	}
+	if err != nil {
+		p.mu.Lock()
+		delete(p.conns, int32(fd))
+		p.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// forget drops a parked registration (the Close/interrupt path). The
+// kernel side disappears when the socket closes; only the map entry
+// needs removing, so a recycled fd number cannot resolve to a dead
+// conn.
+func (p *poller) forget(fd int) {
+	p.mu.Lock()
+	delete(p.conns, int32(fd))
+	p.mu.Unlock()
+}
+
+func (p *poller) loop() {
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(p.epfd, events, -1)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			p.mu.Lock()
+			c := p.conns[events[i].Fd]
+			delete(p.conns, events[i].Fd)
+			p.mu.Unlock()
+			if c != nil {
+				// Never block the poller on one connection: unpark only
+				// takes pmu and spawns, both bounded.
+				c.unpark()
+			}
+		}
+	}
+}
+
+// parkable reports whether this connection can be parked at all: a
+// real TCP fd and a working poller.
+func (c *conn) parkable() bool {
+	if c.fd < 0 {
+		return false
+	}
+	_, err := getPoller()
+	return err == nil
+}
+
+// tryPark hands the idle connection to the poller and lets the caller
+// (the reader goroutine) exit. False means the reader must keep
+// running — parking unavailable or the connection is closing.
+func (c *conn) tryPark() bool {
+	p, err := getPoller()
+	if err != nil {
+		return false
+	}
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.closing {
+		return false
+	}
+	if err := p.arm(c.fd, c); err != nil {
+		c.srv.eng.Metrics.Counter("server.park.errors").Inc()
+		return false
+	}
+	// parked flips under pmu *after* arming: an instant wake-up's
+	// unpark blocks on pmu until parked is visible, so the wake can
+	// never be lost between arm and park.
+	c.parked = true
+	c.srv.eng.Metrics.Counter("server.parked").Inc()
+	return true
+}
+
+// forgetParked removes a connection's poller registration during
+// interrupt, so the shared map never accumulates dead entries.
+func forgetParked(c *conn) {
+	if p, err := getPoller(); err == nil {
+		p.forget(c.fd)
+	}
+}

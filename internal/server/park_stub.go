@@ -1,0 +1,14 @@
+//go:build !linux
+
+package server
+
+// Idle-subscriber parking needs an epoll-style readiness poller; on
+// platforms without one the server simply never grants the "park"
+// flag, and every connection keeps its reader goroutine — the pre-park
+// behavior, fully correct, just 1 goroutine per idle subscriber.
+
+func (c *conn) parkable() bool { return false }
+
+func (c *conn) tryPark() bool { return false }
+
+func forgetParked(*conn) {}

@@ -147,7 +147,7 @@ func handleConsume(c *conn, req *request) bool {
 		return true
 	}
 	consumer := fmt.Sprintf("conn%d", c.id)
-	var lines [][]byte
+	var lines []outMsg
 	var tokens []string
 	for len(lines) < max {
 		msg, ok, err := q.Dequeue(consumer)
@@ -160,7 +160,7 @@ func handleConsume(c *conn, req *request) bool {
 				}
 			}
 			for _, line := range lines {
-				c.recycle(line)
+				c.recycle(line.b)
 			}
 			c.errf(codeInternal, "%v", err)
 			return true
@@ -180,7 +180,7 @@ func handleConsume(c *conn, req *request) bool {
 		token := receiptToken(msg.Receipt.ID, msg.Attempt)
 		c.trackReceipt(name, token, msg.Receipt, nil)
 		tokens = append(tokens, token)
-		lines = append(lines, appendQEVT(c.lineBuf(), name, token, msg.Attempt, data))
+		lines = append(lines, c.qevtWire(name, token, msg.Attempt, data))
 	}
 	// Reply first, then the batch: both flow through the outbound
 	// queue in order, so the client sees "OK <n>" followed by exactly
@@ -239,14 +239,27 @@ func handleNack(c *conn, req *request) bool {
 	return true
 }
 
+// handleQStats reports queue counters. As with STATS, the text field
+// order — ready, inflight, dead, outstanding — is frozen by
+// PROTOCOL.md, and "QSTATS <name> format=json" returns the same
+// fields as one JSON object.
 func handleQStats(c *conn, req *request) bool {
 	name := req.args[0]
+	format, ok := statsFormat(c, req.tail)
+	if !ok {
+		return true
+	}
 	q, err := c.lookupQueue(name)
 	if err != nil {
 		c.queueFail(err)
 		return true
 	}
 	st := q.Stats()
+	if format == "json" {
+		c.reply(fmt.Sprintf(`OK {"ready":%d,"inflight":%d,"dead":%d,"outstanding":%d}`,
+			st.Ready, st.Inflight, st.Dead, c.outstanding(name)))
+		return true
+	}
 	c.reply(fmt.Sprintf("OK ready=%d inflight=%d dead=%d outstanding=%d",
 		st.Ready, st.Inflight, st.Dead, c.outstanding(name)))
 	return true
@@ -269,7 +282,7 @@ func handleReplay(c *conn, req *request) bool {
 		if err != nil {
 			return err
 		}
-		c.replyBuf(appendQEVT(c.lineBuf(), name, "h"+strconv.FormatUint(lsn, 10), 0, data))
+		c.replyBuf(c.qevtWire(name, "h"+strconv.FormatUint(lsn, 10), 0, data))
 		return nil
 	})
 	if err != nil {

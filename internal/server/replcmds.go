@@ -67,8 +67,12 @@ func (s *replSink) run() {
 			if err != nil {
 				return err
 			}
+			// finishLine wraps the record for the negotiated mode (a
+			// REPLY frame when the follower spoke HELLO 2).
+			b = s.c.finishLine(b)
 			select {
-			case s.c.out <- b:
+			case s.c.out <- outMsg{b: b}:
+				s.c.wakeWriter()
 				return nil
 			case <-s.stop:
 				s.c.recycle(b)

@@ -11,8 +11,26 @@
 //
 // Every verb is an entry in a command registry (command.go): a name, a
 // declared argument shape, and a handler. The read loop below parses
-// the shared line framing and dispatches; no verb-specific logic lives
-// in it.
+// the shared framing and dispatches; no verb-specific logic lives in
+// it.
+//
+// # Wire modes
+//
+// Connections start in the legacy text protocol (one command per
+// line). A client may negotiate up with
+//
+//	HELLO <version> [flags] → "OK <version> [flags]"
+//
+// before registering any sink. Version 2 switches both directions to
+// length-prefixed binary frames (internal/frame): commands and replies
+// travel as CMD/REPLY frames carrying the exact text-protocol lines,
+// while the hot paths get typed frames — PUB carries a bare JSON event
+// (no verb parse), EVT/QEVT carry the cached Event.EncodedJSON bytes
+// behind a tiny binary header (no line scanning on either side). The
+// "park" flag additionally lets an idle connection's reader goroutine
+// be released to a shared epoll poller (park_linux.go) until bytes
+// arrive — the difference between 2 goroutines per subscriber and ~0.
+// The full wire contract, both modes, lives in PROTOCOL.md.
 //
 // Message plane (one request per line; <id> is any token without
 // spaces):
@@ -27,7 +45,9 @@
 //	                      as "EVT <id> <json-event>"
 //	UNSUB <id>          → "OK"; detaches any sink (subscription, CQ, or
 //	                      durable consumer) registered under the id
-//	STATS               → "OK sent=N dropped=N queued=N subs=N cqs=N qsubs=N"
+//	STATS [format=json] → "OK sent=N dropped=N queued=N subs=N cqs=N qsubs=N"
+//	                      (stable field order; format=json returns the
+//	                      same fields as a JSON object)
 //	PING                → "PONG"
 //	QUIT                → closes the connection
 //
@@ -80,7 +100,8 @@
 //	NACK <name> <receipt> <delay-ms>
 //	                    → "OK"; returns a delivery for retry after the
 //	                      delay (dead-letters after MaxAttempts)
-//	QSTATS <name>       → "OK ready=N inflight=N dead=N outstanding=N"
+//	QSTATS <name> [format=json]
+//	                    → "OK ready=N inflight=N dead=N outstanding=N"
 //	REPLAY <name> <from-lsn>
 //	                    → historical backfill: every message ever staged
 //	                      into the queue from that WAL position —
@@ -91,20 +112,22 @@
 //
 // Replies are single lines in request order; errors are
 // "ERR <code> <message>" where <code> is a stable token from the
-// taxonomy in errors.go (documented in ARCHITECTURE.md). Pushed
-// "EVT"/"QEVT" lines interleave with replies at line granularity —
-// clients demultiplex on the line prefix.
+// taxonomy in errors.go (documented in ARCHITECTURE.md and
+// PROTOCOL.md). Pushed "EVT"/"QEVT" lines interleave with replies at
+// line granularity — clients demultiplex on the line prefix (text
+// mode) or the frame type (binary mode).
 //
 // # Backpressure
 //
 // Every outbound line passes through a per-connection bounded queue
-// drained by one writer goroutine, so one slow consumer cannot stall
-// the engine or other connections — the same bounded-buffer discipline
-// as the engine's shard pipeline. Command replies always block until
-// queued (they are bounded by request rate); pushed EVT lines follow
-// the configured Overflow policy: BlockOnFull propagates pressure to
-// the publishing goroutine, DropOnFull drops the push and counts it in
-// the connection's drop counter (surfaced by STATS).
+// drained to the socket by an on-demand writer, so one slow consumer
+// cannot stall the engine or other connections — the same
+// bounded-buffer discipline as the engine's shard pipeline. Command
+// replies always block until queued (they are bounded by request
+// rate); pushed EVT lines follow the configured Overflow policy:
+// BlockOnFull propagates pressure to the publishing goroutine,
+// DropOnFull drops the push and counts it in the connection's drop
+// counter (surfaced by STATS).
 package server
 
 import (
@@ -112,6 +135,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -119,6 +143,7 @@ import (
 
 	"eventdb/internal/core"
 	"eventdb/internal/event"
+	"eventdb/internal/frame"
 	"eventdb/internal/queue"
 )
 
@@ -158,6 +183,24 @@ type Config struct {
 	// backpressure, and at-least-once delivery tolerates no silent
 	// drops.
 	Overflow Overflow
+	// ReadTimeout bounds how long a client may take to finish
+	// transmitting a command once it has begun (a partial line, or a
+	// binary frame whose header arrived). An idle connection — nothing
+	// sent at all — is never killed by it: push subscribers legitimately
+	// go quiet forever. 0 disables the bound (no read deadlines are
+	// armed at all unless parking needs them).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each socket flush of the outbound queue, so a
+	// half-open or wedged client cannot pin a writer goroutine forever —
+	// the write fails, the socket closes, and the connection tears
+	// down. 0 disables it (teardown still bounds the final drain with
+	// drainTimeout).
+	WriteTimeout time.Duration
+	// ParkAfter is how long a connection that negotiated the "park"
+	// flag must stay idle before its reader goroutine is released to
+	// the shared poller (default 100ms). Only meaningful where parking
+	// is supported (linux).
+	ParkAfter time.Duration
 	// Queue tunes the durable queues QSUB creates (visibility timeout,
 	// max delivery attempts). Zero values take queue.Config defaults.
 	Queue queue.Config
@@ -181,12 +224,18 @@ const (
 	// defaultQueuePrefetch bounds unacked deliveries per durable
 	// consumer.
 	defaultQueuePrefetch = 256
+	// defaultParkAfter is the idle threshold before a park-negotiated
+	// connection releases its reader goroutine.
+	defaultParkAfter = 100 * time.Millisecond
 	// maxBatch caps PUBB so a client cannot make the server buffer an
 	// unbounded batch.
 	maxBatch = 65536
 	// drainTimeout bounds how long a closing connection's writer may
 	// spend flushing its remaining queued lines.
 	drainTimeout = 2 * time.Second
+	// protocolVersion is the highest wire version this server speaks:
+	// 1 = text lines, 2 = binary frames (PROTOCOL.md).
+	protocolVersion = 2
 )
 
 // Server serves one engine over TCP.
@@ -228,6 +277,9 @@ func serve(eng *core.Engine, ln net.Listener, cfg Config) *Server {
 	if cfg.QueuePrefetch <= 0 {
 		cfg.QueuePrefetch = defaultQueuePrefetch
 	}
+	if cfg.ParkAfter <= 0 {
+		cfg.ParkAfter = defaultParkAfter
+	}
 	s := &Server{
 		eng:   eng,
 		cfg:   cfg,
@@ -267,8 +319,8 @@ func (s *Server) ReplicaCursors() map[uint64]uint64 {
 }
 
 // Close stops accepting, then closes live client connections and waits
-// for every handler and writer goroutine to finish, so callers can
-// safely tear down the engine afterwards without leaking goroutines.
+// for every tracked goroutine to finish, so callers can safely tear
+// down the engine afterwards without leaking goroutines.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -281,13 +333,40 @@ func (s *Server) Close() error {
 	// accepting: no new connection can slip in after the drain below.
 	close(s.done)
 	err := s.ln.Close()
+	// Snapshot, then interrupt OUTSIDE the lock: interrupt takes each
+	// connection's pmu, and the poller's unpark path holds pmu while
+	// acquiring s.mu (via goGo) — interrupting under s.mu would be the
+	// classic AB/BA deadlock at exactly the worst moment (thousands of
+	// connections hanging up at once).
 	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.nc.Close() // wakes the connection's reader, which tears down
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	for _, c := range conns {
+		c.interrupt()
+	}
 	s.wg.Wait()
 	return err
+}
+
+// goGo runs f on a goroutine tracked by the server's WaitGroup, unless
+// the server is already closing (false). Close waits for every tracked
+// goroutine, so anything that touches the engine must run tracked.
+func (s *Server) goGo(f func()) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		f()
+	}()
+	return true
 }
 
 func (s *Server) acceptLoop() {
@@ -331,29 +410,35 @@ func (s *Server) acceptLoop() {
 		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
 			s.mu.Unlock()
 			s.eng.Metrics.Counter("server.refused").Inc()
+			// Refusals happen before any HELLO, so they are always text.
 			fmt.Fprintf(nc, "ERR %s connection limit reached\n", codeLimit)
 			nc.Close()
 			continue
 		}
 		c := &conn{
-			srv:        s,
-			id:         s.nextConn.Add(1),
-			nc:         nc,
-			out:        make(chan []byte, s.cfg.SubBuffer),
-			free:       make(chan []byte, s.cfg.SubBuffer),
-			stop:       make(chan struct{}),
-			writerDone: make(chan struct{}),
-			sinks:      make(map[string]sink),
-			receipts:   make(map[string]map[string]trackedReceipt),
+			srv:      s,
+			id:       s.nextConn.Add(1),
+			nc:       nc,
+			fd:       -1,
+			out:      make(chan outMsg, s.cfg.SubBuffer),
+			free:     make(chan []byte, s.cfg.SubBuffer),
+			stop:     make(chan struct{}),
+			sinks:    make(map[string]sink),
+			receipts: make(map[string]map[string]trackedReceipt),
+		}
+		// Capture the raw fd for the parking poller. Holding the integer
+		// past the Control callback is safe here: it is only ever used
+		// to arm epoll while the conn is registered, and a stale arm on
+		// a recycled fd at worst produces a harmless spurious unpark.
+		if tc, ok := nc.(*net.TCPConn); ok {
+			if sc, err := tc.SyscallConn(); err == nil {
+				sc.Control(func(fd uintptr) { c.fd = int(fd) })
+			}
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
 		s.eng.Metrics.Counter("server.accepted").Inc()
-		s.wg.Add(2)
-		go func() {
-			defer s.wg.Done()
-			c.writeLoop()
-		}()
+		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			c.readLoop()
@@ -361,31 +446,78 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// conn is one client connection: a reader goroutine parsing commands
-// and a writer goroutine draining the bounded outbound queue. It is
-// the per-connection session state threaded through every handler.
+// outMsg is one queued socket write: an owned buffer b (built in a
+// recycled line buffer, returned to the free list after the write)
+// optionally followed by tail, a shared immutable payload written
+// verbatim after b and never recycled. Binary pushes use tail to ship
+// the encode-once event JSON with no per-sink copy: the frame header
+// declares the payload length up front, so header and cached payload
+// can go to the socket as two slices. Text lines cannot split this
+// way (their '\n' terminator follows the payload), so they always
+// travel fully built in b.
+type outMsg struct {
+	b    []byte
+	tail []byte
+}
+
+// Writer states: the outbound queue is drained by at most one burst
+// goroutine at a time, spawned on demand by whoever enqueues into an
+// idle queue and exiting when the queue runs dry — an idle connection
+// holds no writer goroutine at all.
+const (
+	wIdle    int32 = iota // no burst running; next enqueue spawns one
+	wRunning              // a burst goroutine owns the socket
+	wClosed               // teardown owns the socket; no bursts ever again
+)
+
+// conn is one client connection. A reader goroutine parses commands
+// (and may be parked away entirely while the connection idles, see
+// park_linux.go); outbound traffic drains through on-demand writer
+// bursts. It is the per-connection session state threaded through
+// every handler.
 //
 // Outbound lines are []byte buffers recycled through the free list:
-// a producer takes a buffer with lineBuf, builds the line, and hands
-// ownership to the writer via out; the writer returns it to free after
-// the socket write. Steady-state fan-out therefore allocates no line
-// buffers at all.
+// a producer takes a buffer with lineBuf, builds the complete wire
+// form (text line + '\n', or a binary frame), and hands ownership to
+// the writer via out; the writer returns it to free after the socket
+// write. Steady-state fan-out therefore allocates no line buffers at
+// all.
 type conn struct {
-	srv        *Server
-	id         uint64
-	nc         net.Conn
-	br         *bufio.Reader // owned by the reader goroutine
-	out        chan []byte
-	free       chan []byte   // recycled line buffers
-	stop       chan struct{} // closed at teardown; unblocks producers
-	writerDone chan struct{} // closed when the writer goroutine exits
+	srv  *Server
+	id   uint64
+	nc   net.Conn
+	fd   int           // raw socket fd for epoll parking; -1 if unavailable
+	br   *bufio.Reader // owned by the reader goroutine
+	fr   *frame.Reader // binary-mode decoder over br (reader goroutine)
+	out  chan outMsg
+	free chan []byte   // recycled line buffers
+	stop chan struct{} // closed at teardown; unblocks producers
 
-	sent       atomic.Uint64 // lines actually written
+	// binary and parkOK are written only by the reader goroutine while
+	// handling HELLO, which is refused once any sink exists — so every
+	// concurrent producer (broker callbacks, queue consumers, repl
+	// streams) is registered strictly after the flip and observes it
+	// through its own registration's synchronization.
+	binary bool
+	parkOK bool
+
+	wstate atomic.Int32 // wIdle/wRunning/wClosed burst ownership
+	bw     *bufio.Writer
+	wfail  bool // socket write failed; bursts keep draining, not writing
+	torn   atomic.Bool
+
+	pmu        sync.Mutex
+	parked     bool // reader released; the poller owns wake-up
+	closing    bool // interrupt ran; never park or respawn again
+	readerDead bool // reader exited for good (not parked)
+
+	sent       atomic.Uint64 // wire writes completed (lines or frames)
 	dropped    atomic.Uint64 // EVT pushes lost to DropOnFull
 	replCursor atomic.Uint64 // latest RACKed cursor from a REPLICATE peer
 
-	mu    sync.Mutex
-	sinks map[string]sink // local id → registered delivery sink
+	mu       sync.Mutex
+	sinks    map[string]sink // local id → registered delivery sink
+	everSink bool            // a sink was registered at least once (locks HELLO)
 
 	rmu      sync.Mutex
 	receipts map[string]map[string]trackedReceipt // queue → token → outstanding delivery
@@ -425,49 +557,101 @@ func (c *conn) recycle(b []byte) {
 	}
 }
 
-// reply queues a command reply. Replies are never dropped: they are
-// bounded by request rate, and the protocol's request/reply ordering
-// depends on every one arriving.
+// reply queues a command reply in the connection's negotiated wire
+// form. Replies are never dropped: they are bounded by request rate,
+// and the protocol's request/reply ordering depends on every one
+// arriving.
 func (c *conn) reply(line string) {
-	c.replyBuf(append(c.lineBuf(), line...))
+	b := c.lineBuf()
+	if c.binary {
+		b = frame.AppendFrameString(b, frame.Reply, line)
+	} else {
+		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	c.replyBuf(outMsg{b: b})
 }
 
-// replyBuf queues an already-built reply line; buffer ownership passes
-// to the writer (or back to the free list if the connection is
-// tearing down).
-func (c *conn) replyBuf(b []byte) {
+// replyBuf queues an already-built, wire-ready reply; ownership of the
+// owned buffer passes to the writer (or back to the free list if the
+// connection is tearing down).
+func (c *conn) replyBuf(m outMsg) {
 	select {
-	case c.out <- b:
+	case c.out <- m:
+		c.wakeWriter()
 	case <-c.stop:
-		c.recycle(b)
+		c.recycle(m.b)
 	}
 }
 
-// push queues an asynchronous EVT line under the configured overflow
+// finishLine converts a bare text line built in a recycled buffer into
+// its wire form: text mode appends the newline in place; binary mode
+// wraps it in a REPLY frame (one copy — only cold paths like the
+// replication stream use this).
+func (c *conn) finishLine(b []byte) []byte {
+	if !c.binary {
+		return append(b, '\n')
+	}
+	fb := frame.AppendFrame(c.lineBuf(), frame.Reply, b)
+	c.recycle(b)
+	return fb
+}
+
+// push queues an asynchronous EVT push under the configured overflow
 // policy. Buffer ownership passes to the writer; dropped lines return
 // to the free list.
-func (c *conn) push(b []byte) {
+func (c *conn) push(m outMsg) {
 	if c.srv.cfg.Overflow == DropOnFull {
 		select {
-		case c.out <- b:
+		case c.out <- m:
+			c.wakeWriter()
 		default:
-			c.recycle(b)
+			c.recycle(m.b)
 			c.dropped.Add(1)
 			c.srv.eng.Metrics.Counter("server.push.dropped").Inc()
 		}
 		return
 	}
 	select {
-	case c.out <- b:
+	case c.out <- m:
+		c.wakeWriter()
 	case <-c.stop:
-		c.recycle(b)
+		c.recycle(m.b)
 	}
+}
+
+// evtWire renders one subscription push in the negotiated wire form.
+// Text builds the full "EVT <id> <json>\n" line in a recycled buffer
+// (one payload copy per sink); binary builds only the frame header and
+// carries the cached JSON as the shared tail — zero payload copies per
+// sink, the frame layout's whole point.
+func (c *conn) evtWire(localID string, data []byte) outMsg {
+	b := c.lineBuf()
+	if c.binary {
+		return outMsg{b: frame.AppendEvtHeader(b, localID, len(data)), tail: data}
+	}
+	b = append(b, "EVT "...)
+	b = append(b, localID...)
+	b = append(b, ' ')
+	b = append(b, data...)
+	return outMsg{b: append(b, '\n')}
+}
+
+// qevtWire renders one durable delivery in the negotiated wire form,
+// with the same text-copies/binary-shares split as evtWire.
+func (c *conn) qevtWire(name, token string, attempt int, data []byte) outMsg {
+	b := c.lineBuf()
+	if c.binary {
+		return outMsg{b: frame.AppendQEvtHeader(b, name, token, attempt, len(data)), tail: data}
+	}
+	b = appendQEVT(b, name, token, attempt, data)
+	return outMsg{b: append(b, '\n')}
 }
 
 // pushEvent queues one pushed event for a subscription or continuous
 // query. The payload comes from the event's encode-once cache: an
 // event fanned out to M sinks across any number of connections is
-// marshaled exactly once, and each sink pays only a prefix build and a
+// marshaled exactly once, and each sink pays only a header build and a
 // copy into its recycled line buffer. (Derived events — WithAttr,
 // Clone — carry fresh caches, so a cached payload can never go stale.)
 func (c *conn) pushEvent(localID string, ev *event.Event) {
@@ -476,122 +660,374 @@ func (c *conn) pushEvent(localID string, ev *event.Event) {
 		c.srv.eng.Metrics.Counter("server.push.encode_errors").Inc()
 		return
 	}
-	b := append(c.lineBuf(), "EVT "...)
-	b = append(b, localID...)
-	b = append(b, ' ')
-	b = append(b, data...)
-	c.push(b)
+	c.push(c.evtWire(localID, data))
 }
 
-// writeLoop drains the outbound queue to the socket, coalescing: it
-// writes every immediately-available line, then flushes once, so a
-// fan-out burst pays one syscall instead of one per line. On a write
-// error it closes the socket (forcing the reader to tear down) and
-// keeps consuming so blocked producers are released until stop closes.
-func (c *conn) writeLoop() {
-	defer close(c.writerDone)
-	w := bufio.NewWriterSize(c.nc, 1<<16)
-	failed := false
-	write := func(line []byte) {
-		if !failed {
-			_, err := w.Write(line)
-			if err == nil {
-				err = w.WriteByte('\n')
+// wakeWriter ensures a writer burst is running (or already scheduled)
+// to drain the enqueued buffer. Producers always enqueue first, then
+// wake: if the CAS loses, some burst is already committed to a
+// post-drain re-check that will see the buffer.
+func (c *conn) wakeWriter() {
+	if c.wstate.CompareAndSwap(wIdle, wRunning) {
+		// Deliberately untracked by the server WaitGroup: once teardown
+		// takes wClosed no burst can restart, and a racing burst past
+		// its final Store touches only conn-local state.
+		go c.writeBurst()
+	}
+}
+
+// write puts one wire-ready message on the socket (through bw) and
+// recycles its owned buffer; a shared tail is written verbatim and
+// never recycled. After a failure it keeps consuming buffers without
+// writing, so producers drain instead of deadlocking.
+func (c *conn) write(m outMsg) {
+	if !c.wfail {
+		_, err := c.bw.Write(m.b)
+		if err == nil && len(m.tail) > 0 {
+			_, err = c.bw.Write(m.tail)
+		}
+		if err != nil {
+			c.wfail = true
+			c.nc.Close()
+		} else {
+			c.sent.Add(1)
+		}
+	}
+	c.recycle(m.b)
+}
+
+func (c *conn) flush() {
+	if c.wfail {
+		return
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.wfail = true
+		c.nc.Close()
+	}
+}
+
+// writeBurst drains the outbound queue to the socket, coalescing: it
+// writes every immediately-available buffer, then flushes once, so a
+// fan-out burst pays one syscall instead of one per line. When the
+// queue runs dry it releases the writer slot and exits — the
+// steady-state of an idle connection is zero writer goroutines. On a
+// write error it closes the socket (forcing the reader to tear down)
+// and keeps consuming so blocked producers are released.
+func (c *conn) writeBurst() {
+	if c.bw == nil {
+		c.bw = bufio.NewWriterSize(c.nc, 1<<16)
+	}
+	for {
+		if wt := c.srv.cfg.WriteTimeout; wt > 0 && !c.wfail {
+			c.nc.SetWriteDeadline(time.Now().Add(wt))
+		}
+		for {
+			select {
+			case b := <-c.out:
+				c.write(b)
+				continue
+			default:
 			}
-			if err != nil {
-				failed = true
-				c.nc.Close()
+			break
+		}
+		c.flush()
+		// Release the slot, then re-check: a producer that enqueued
+		// after the drain either wins the wake CAS itself or loses it
+		// to this re-check — never both, never neither.
+		c.wstate.Store(wIdle)
+		if len(c.out) == 0 {
+			return
+		}
+		if !c.wstate.CompareAndSwap(wIdle, wRunning) {
+			return
+		}
+	}
+}
+
+// step is a read-loop verdict: keep reading, park the reader, or tear
+// the connection down.
+type step int
+
+const (
+	stepContinue step = iota
+	stepPark
+	stepClose
+)
+
+// readLoop reads commands — text lines or binary frames, depending on
+// the negotiated mode — and dispatches each through the command
+// registry until the connection errors, a handler asks to close (QUIT,
+// loss of framing), or an idle park-negotiated connection hands its
+// socket to the shared poller and returns without tearing down.
+func (c *conn) readLoop() {
+	if c.br == nil {
+		c.br = bufio.NewReaderSize(c.nc, 1<<16)
+	}
+	for {
+		var s step
+		if c.binary {
+			s = c.binaryStep()
+		} else {
+			s = c.textStep()
+		}
+		switch s {
+		case stepPark:
+			if c.tryPark() {
+				return // the poller now owns wake-up; no teardown
+			}
+		case stepClose:
+			c.teardown()
+			return
+		}
+	}
+}
+
+// armIdle sets the read deadline for waiting on a new command: the
+// park threshold when parking is on, else the read timeout (so
+// progress is still observed), else none. Idle timeouts never kill the
+// connection — they only re-arm or park.
+func (c *conn) armIdle() {
+	switch {
+	case c.parkOK:
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ParkAfter))
+	case c.srv.cfg.ReadTimeout > 0:
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+	}
+}
+
+// armBody sets the read deadline once a command has begun arriving:
+// the client now owes the rest within ReadTimeout, or — with no
+// timeout configured — forever (clearing any park deadline so a slow
+// sender is not mistaken for an idle one).
+func (c *conn) armBody() {
+	if rt := c.srv.cfg.ReadTimeout; rt > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(rt))
+	} else if c.parkOK {
+		c.nc.SetReadDeadline(time.Time{})
+	}
+}
+
+// deadlines reports whether this connection ever arms read deadlines;
+// when false the read path never touches SetReadDeadline at all.
+func (c *conn) deadlines() bool {
+	return c.parkOK || c.srv.cfg.ReadTimeout > 0
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// textStep reads and dispatches one text command line.
+func (c *conn) textStep() step {
+	var partial []byte
+	for {
+		if c.deadlines() {
+			if len(partial) == 0 {
+				c.armIdle()
 			} else {
-				c.sent.Add(1)
+				c.armBody()
 			}
 		}
-		c.recycle(line)
+		chunk, err := c.br.ReadString('\n')
+		partial = append(partial, chunk...)
+		if err != nil {
+			if isTimeout(err) {
+				if len(partial) == 0 {
+					if c.parkOK && c.br.Buffered() == 0 {
+						return stepPark
+					}
+					continue // idle is allowed; re-arm and keep waiting
+				}
+				if c.srv.cfg.ReadTimeout > 0 {
+					return stepClose // mid-command stall
+				}
+				continue
+			}
+			return stepClose
+		}
+		if !dispatch(c, strings.TrimRight(string(partial), "\r\n")) {
+			return stepClose
+		}
+		return stepContinue
+	}
+}
+
+// binaryStep reads and dispatches one binary frame.
+func (c *conn) binaryStep() step {
+	for {
+		if c.deadlines() {
+			c.armIdle()
+		}
+		t, payload, err := c.fr.Next()
+		if err != nil {
+			if isTimeout(err) {
+				if !c.fr.Midframe() {
+					if c.parkOK && c.br.Buffered() == 0 {
+						return stepPark
+					}
+					continue
+				}
+				return stepClose // stalled mid-frame
+			}
+			return stepClose
+		}
+		switch t {
+		case frame.Cmd:
+			if !dispatch(c, string(payload)) {
+				return stepClose
+			}
+		case frame.Pub:
+			handlePubFrame(c, payload)
+		case frame.Data:
+			// A body frame outside a body-consuming command: framing is
+			// intact (the length was honored) but the stream is
+			// confused enough to drop.
+			c.errf(codeBadArgs, "DATA frame outside a command body")
+			return stepClose
+		default:
+			c.errf(codeUnknown, "unexpected frame type %s", t)
+			return stepClose
+		}
+		return stepContinue
+	}
+}
+
+// newFrameReader builds the connection's binary decoder, wiring the
+// OnHeader hook so the read deadline widens to cover a frame's body as
+// soon as its header begins arriving.
+func newFrameReader(c *conn) *frame.Reader {
+	fr := frame.NewReader(c.br)
+	fr.OnHeader = c.armBody
+	return fr
+}
+
+// readBody reads one command body unit — a line in text mode, a DATA
+// frame in binary mode (PUBB batches). The returned bytes are only
+// valid until the next read; callers must consume or copy immediately.
+func (c *conn) readBody() ([]byte, bool) {
+	if c.deadlines() {
+		c.armBody()
+	}
+	if c.binary {
+		t, payload, err := c.fr.Next()
+		if err != nil || t != frame.Data {
+			return nil, false
+		}
+		return payload, true
+	}
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return nil, false
+	}
+	return []byte(strings.TrimRight(line, "\r\n")), true
+}
+
+// interrupt begins shutdown of one connection from outside its reader
+// (the Server.Close path). A live reader is woken by closing the
+// socket and tears down itself; a parked or already-dead reader has
+// nobody to do that, so teardown runs on a fresh tracked goroutine.
+func (c *conn) interrupt() {
+	c.pmu.Lock()
+	c.closing = true
+	wasParked := c.parked
+	c.parked = false
+	dead := c.readerDead
+	c.pmu.Unlock()
+	if wasParked {
+		forgetParked(c)
+	}
+	if wasParked || dead {
+		// The server is already marked closed, so goGo would refuse;
+		// track by hand — Close interrupts before it waits on s.wg, so
+		// the Add is ordered before the Wait.
+		c.srv.wg.Add(1)
+		go func() {
+			defer c.srv.wg.Done()
+			c.teardown()
+		}()
+		return
+	}
+	c.nc.Close()
+}
+
+// unpark revives a parked connection when the poller sees readable
+// bytes (or EOF). Spurious wakes are fine: the revived reader just
+// finds nothing and parks again.
+func (c *conn) unpark() {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if !c.parked || c.closing {
+		return
+	}
+	c.parked = false
+	if !c.srv.goGo(c.readLoop) {
+		// Server is closing; its Close pass will (or did) see
+		// parked=false and needs a teardown it can wait on.
+		c.readerDead = true
+	}
+}
+
+// teardown closes one connection exactly once: detach every sink
+// (broker subscriptions stop pushing, durable consumers halt and hand
+// back their unacked deliveries), release producers, take the writer
+// slot for a final bounded drain, close the socket, deregister.
+func (c *conn) teardown() {
+	if !c.torn.CompareAndSwap(false, true) {
+		return
+	}
+	c.pmu.Lock()
+	c.closing = true
+	c.readerDead = true
+	c.pmu.Unlock()
+	// Bound all remaining socket writes first, so a consumer that went
+	// away without reading cannot stall the drain below.
+	c.nc.SetWriteDeadline(time.Now().Add(drainTimeout))
+	c.mu.Lock()
+	sinks := make([]sink, 0, len(c.sinks))
+	for _, s := range c.sinks {
+		sinks = append(sinks, s)
+	}
+	c.sinks = map[string]sink{}
+	c.mu.Unlock()
+	for _, s := range sinks {
+		s.detach()
+	}
+	// Receipts left by CONSUME on queues no sink covered.
+	c.releaseAllReceipts()
+	close(c.stop)
+	// Take exclusive socket ownership: once wClosed is in, no burst can
+	// start, and the spin ends as soon as the last burst parks. Bursts
+	// terminate promptly — producers are released, the queue is
+	// bounded, and the write deadline above caps socket time.
+	for !c.wstate.CompareAndSwap(wIdle, wClosed) {
+		runtime.Gosched()
+	}
+	if c.bw == nil {
+		c.bw = bufio.NewWriterSize(c.nc, 1<<16)
 	}
 	for {
 		select {
-		case line := <-c.out:
-			write(line)
-			// Drain whatever else is immediately available before one
-			// flush, so bursts pay the syscall once.
-		drain:
-			for {
-				select {
-				case line := <-c.out:
-					write(line)
-				default:
-					break drain
-				}
-			}
-			if !failed {
-				if err := w.Flush(); err != nil {
-					failed = true
-					c.nc.Close()
-				}
-			}
-		case <-c.stop:
-			// Final best-effort drain, then exit.
-			for {
-				select {
-				case line := <-c.out:
-					write(line)
-				default:
-					if !failed {
-						w.Flush()
-					}
-					return
-				}
-			}
+		case b := <-c.out:
+			c.write(b)
+			continue
+		default:
 		}
+		break
 	}
-}
-
-// readLoop reads command lines and dispatches each through the command
-// registry until the connection errors or a handler asks to close
-// (QUIT, loss of framing), then tears the connection down: detach
-// every sink first (broker subscriptions stop pushing, durable
-// consumers halt and hand back their unacked deliveries), release
-// producers and the writer, close the socket, deregister.
-func (c *conn) readLoop() {
-	defer func() {
-		c.mu.Lock()
-		sinks := make([]sink, 0, len(c.sinks))
-		for _, s := range c.sinks {
-			sinks = append(sinks, s)
-		}
-		c.sinks = map[string]sink{}
-		c.mu.Unlock()
-		for _, s := range sinks {
-			s.detach()
-		}
-		// Receipts left by CONSUME on queues no sink covered.
-		c.releaseAllReceipts()
-		close(c.stop)
-		// Give the writer a bounded window to flush queued replies (the
-		// deadline also breaks a write blocked on a consumer that went
-		// away without reading), then close the socket.
-		c.nc.SetWriteDeadline(time.Now().Add(drainTimeout))
-		<-c.writerDone
-		c.nc.Close()
-		c.srv.mu.Lock()
-		delete(c.srv.conns, c)
-		c.srv.mu.Unlock()
-	}()
-	c.br = bufio.NewReaderSize(c.nc, 1<<16)
-	for {
-		line, err := c.br.ReadString('\n')
-		if err != nil {
-			return
-		}
-		if !dispatch(c, strings.TrimRight(line, "\r\n")) {
-			return
-		}
-	}
+	c.flush()
+	c.nc.Close()
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
 }
 
 // addSink registers a sink under a connection-local id, refusing
 // duplicates. Only the reader goroutine adds sinks, so the check-and-
 // insert is race-free; the lock covers concurrent readers (STATS is
-// also reader-driven, but teardown swaps the map).
+// also reader-driven, but teardown swaps the map). Registration also
+// permanently locks the wire mode: HELLO is refused once everSink is
+// set, which is what makes the unsynchronized mode flags safe.
 func (c *conn) addSink(localID string, s sink) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -599,6 +1035,7 @@ func (c *conn) addSink(localID string, s sink) bool {
 		return false
 	}
 	c.sinks[localID] = s
+	c.everSink = true
 	return true
 }
 

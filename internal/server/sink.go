@@ -172,15 +172,16 @@ func (s *queueSink) deliver(msg *queue.Msg) {
 		token = receiptToken(msg.Receipt.ID, msg.Attempt)
 		s.c.trackReceipt(s.name, token, msg.Receipt, s)
 	}
-	line := appendQEVT(s.c.lineBuf(), s.name, token, msg.Attempt, data)
+	line := s.c.qevtWire(s.name, token, msg.Attempt, data)
 	select {
 	case s.c.out <- line:
+		s.c.wakeWriter()
 		s.c.srv.eng.Metrics.Counter("server.qsub.delivered").Inc()
 	case <-s.stop:
 		// Tearing down: the line was never queued. Hand a manual-ack
 		// message back so the next consumer gets it immediately; an
 		// auto-ack message was already consumed (at-most-once loss).
-		s.c.recycle(line)
+		s.c.recycle(line.b)
 		if !s.autoAck {
 			s.c.takeReceipt(s.name, token)
 			s.q.Release(msg.Receipt)

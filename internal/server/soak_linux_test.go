@@ -1,0 +1,172 @@
+//go:build linux
+
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"eventdb/internal/core"
+	"eventdb/internal/event"
+	"eventdb/internal/frame"
+	"eventdb/internal/raceflag"
+)
+
+// TestParkedSubscriberSoak is the million-connection plane's scale
+// proof at CI size: thousands of concurrent parked subscribers held by
+// one server with a bounded goroutine count — far fewer goroutines
+// than connections — while pushes still reach every one of them.
+func TestParkedSubscriberSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	want := 10000
+	if raceflag.Enabled {
+		// The race detector multiplies per-goroutine cost; the property
+		// (goroutines ≪ connections) is scale-invariant.
+		want = 2000
+	}
+	n := maxSoakConns(t, want)
+
+	_, srv := startServer(t, core.Config{}, Config{ParkAfter: 20 * time.Millisecond})
+
+	// Probe: is parking available here at all?
+	probe, pbr := wireDial(t, srv)
+	sendLine(t, probe, "HELLO 2 park")
+	if got := readLine(t, pbr); got != "OK 2 park" {
+		t.Skipf("parking unsupported on this platform/kernel (reply %q)", got)
+	}
+	probe.Close()
+
+	type subConn struct {
+		nc net.Conn
+		br *bufio.Reader
+	}
+	conns := make([]subConn, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	sem := make(chan struct{}, 64)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			nc, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				errs <- fmt.Errorf("conn %d dial: %w", i, err)
+				return
+			}
+			br := bufio.NewReader(nc)
+			if _, err := nc.Write([]byte("HELLO 2 park\n")); err != nil {
+				errs <- fmt.Errorf("conn %d hello: %w", i, err)
+				return
+			}
+			line, err := br.ReadString('\n')
+			if err != nil || strings.TrimSpace(line) != "OK 2 park" {
+				errs <- fmt.Errorf("conn %d hello reply %q err %v", i, line, err)
+				return
+			}
+			if _, err := nc.Write(frame.AppendFrameString(nil, frame.Cmd, "SUB s")); err != nil {
+				errs <- fmt.Errorf("conn %d sub: %w", i, err)
+				return
+			}
+			fr := frame.NewReader(br)
+			typ, payload, err := fr.Next()
+			if err != nil || typ != frame.Reply || string(payload) != "OK" {
+				errs <- fmt.Errorf("conn %d sub reply %s %q err %v", i, typ, payload, err)
+				return
+			}
+			conns[i] = subConn{nc: nc, br: br}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range conns {
+			if c.nc != nil {
+				c.nc.Close()
+			}
+		}
+	}()
+
+	// Every connection now idles; readers park. The goroutine count
+	// must fall far below the connection count — that is the entire
+	// point of the multiplexer.
+	bound := n / 4
+	deadline := time.Now().Add(60 * time.Second)
+	var g int
+	for {
+		g = runtime.NumGoroutine()
+		if g < bound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never settled: %d running for %d connections (bound %d)", g, n, bound)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Logf("%d connections held by %d goroutines", n, g)
+
+	// Parked is not dead: a push must still reach every subscriber.
+	// Publishing wakes each connection's writer; spot-check a sample.
+	pub := dial(t, srv)
+	if _, err := pub.Publish(event.New("tick", map[string]any{"n": 1})); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, n / 2, n - 1} {
+		c := conns[i]
+		c.nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+		fr := frame.NewReader(c.br)
+		typ, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("conn %d never saw the push: %v", i, err)
+		}
+		if typ != frame.Evt {
+			t.Fatalf("conn %d push type %s", i, typ)
+		}
+		if id, _, ok := frame.DecodeEvt(payload); !ok || id != "s" {
+			t.Fatalf("conn %d push decode id=%q ok=%v", i, id, ok)
+		}
+	}
+}
+
+// maxSoakConns raises RLIMIT_NOFILE as far as allowed and derives how
+// many test connections fit (each costs two descriptors: client and
+// server end, plus headroom for everything else).
+func maxSoakConns(t *testing.T, want int) int {
+	t.Helper()
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		t.Fatalf("getrlimit: %v", err)
+	}
+	if lim.Cur < lim.Max {
+		raised := lim
+		raised.Cur = lim.Max
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err == nil {
+			lim = raised
+		}
+	}
+	const reserve = 256
+	fit := int(lim.Cur)
+	if fit > reserve {
+		fit = (fit - reserve) / 2
+	} else {
+		fit = 16
+	}
+	if fit < want {
+		t.Logf("RLIMIT_NOFILE %d caps the soak at %d connections (wanted %d)", lim.Cur, fit, want)
+		return fit
+	}
+	return want
+}
