@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"eventdb/internal/columnar"
+	"eventdb/internal/query"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+// E20: columnar history scans. The same filtered scan and windowed
+// aggregate run over the same table twice — once through the row
+// store (query.NoColumnar) and once through sealed column segments
+// with vectorized filter kernels and zone-map pruning
+// (internal/columnar). The row path pays a map lookup, a predicate
+// tree walk and boxed value comparisons per row; the columnar path
+// evaluates each conjunct over 1024-row vectors, skips whole segments
+// whose zone maps cannot match, and feeds aggregates straight from
+// the vectors.
+func e20() {
+	header("E20", "columnar history: vectorized scans vs the row store (ARCHITECTURE.md \"Columnar history\")")
+	N := n(1_000_000, 20000)
+	if *e20Events > 0 {
+		N = *e20Events
+	}
+	// The row path is ~10x slower per query, so it gets fewer laps for
+	// the same statistical weight of scanned rows.
+	colIters := n(40, 10)
+	rowIters := n(5, 10)
+
+	db, err := storage.Open(storage.Options{})
+	must(err)
+	defer db.Close()
+	schema, err := storage.NewSchema("events", []storage.Column{
+		{Name: "id", Kind: val.KindInt, NotNull: true},
+		{Name: "ts", Kind: val.KindTime},
+		{Name: "sym", Kind: val.KindString},
+		{Name: "price", Kind: val.KindFloat},
+		{Name: "qty", Kind: val.KindInt},
+	}, "id")
+	must(err)
+	must(db.CreateTable(schema))
+	cm, err := columnar.Attach(db, columnar.Config{SealRows: 8192, SealInterval: time.Hour})
+	must(err)
+	defer cm.Close()
+
+	syms := []string{"ACME", "BETA", "GAMA", "DELT", "EPSI", "ZETA", "ETA1", "THET"}
+	rng := rand.New(rand.NewSource(20))
+	const chunk = 1000
+	for start := 0; start < N; start += chunk {
+		txn := db.Begin()
+		for i := start; i < start+chunk && i < N; i++ {
+			must(txn.Insert("events", map[string]val.Value{
+				"id":    val.Int(int64(i)),
+				"ts":    val.Time(time.Unix(1700000000+int64(i), 0).UTC()),
+				"sym":   val.String(syms[rng.Intn(len(syms))]),
+				"price": val.Float(float64(rng.Intn(40000)) / 4),
+				"qty":   val.Int(int64(rng.Intn(1000))),
+			}))
+		}
+		_, err := txn.Commit()
+		must(err)
+	}
+	_, err = cm.Compact("")
+	must(err)
+
+	scanQ := func(columnarPath bool) *query.Query {
+		q := query.New("events").Where("sym = 'ACME' AND price > 7500").Select("id", "price")
+		if !columnarPath {
+			q = q.NoColumnar()
+		}
+		return q
+	}
+	aggQ := func(columnarPath bool) *query.Query {
+		q := query.New("events").
+			Where(fmt.Sprintf("id >= %d AND id < %d", N/4, 3*N/4)).
+			Agg("n", query.Count, "").Agg("s", query.Sum, "qty").
+			Agg("lo", query.Min, "price").Agg("hi", query.Max, "price")
+		if !columnarPath {
+			q = q.NoColumnar()
+		}
+		return q
+	}
+	run := func(name string, mk func(bool) *query.Query, columnarPath bool) (opsPerSec float64) {
+		iters := colIters
+		if !columnarPath {
+			iters = rowIters
+		}
+		ops, ns := measured(name, iters, func(int) {
+			res, err := mk(columnarPath).Run(db)
+			must(err)
+			if len(res.Rows) == 0 {
+				must(fmt.Errorf("e20: empty result"))
+			}
+		})
+		_ = ns
+		return ops
+	}
+
+	fmt.Println("| query | path | rows | queries/sec | Mrows/sec | speedup |")
+	fmt.Println("|---|---|---|---|---|---|")
+	rowScan := run("e20.scan.row", scanQ, false)
+	colScan := run("e20.scan.columnar", scanQ, true)
+	fmt.Printf("| filtered scan | row store (pre-change) | %d | %.1f | %.2f | baseline |\n",
+		N, rowScan, rowScan*float64(N)/1e6)
+	fmt.Printf("| filtered scan | columnar segments | %d | %.1f | %.2f | %.1fx |\n",
+		N, colScan, colScan*float64(N)/1e6, colScan/rowScan)
+	rowAgg := run("e20.agg.row", aggQ, false)
+	colAgg := run("e20.agg.columnar", aggQ, true)
+	fmt.Printf("| windowed aggregate | row store (pre-change) | %d | %.1f | %.2f | baseline |\n",
+		N, rowAgg, rowAgg*float64(N)/1e6)
+	fmt.Printf("| windowed aggregate | columnar segments | %d | %.1f | %.2f | %.1fx |\n",
+		N, colAgg, colAgg*float64(N)/1e6, colAgg/rowAgg)
+}

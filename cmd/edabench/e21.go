@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"eventdb/client"
+	"eventdb/internal/core"
+	"eventdb/internal/event"
+	"eventdb/internal/server"
+)
+
+// E21: delivery-latency tail under sustained batched ingest. A
+// publisher drives PUBB batches while a subscriber drains the
+// matching push stream; the server's per-connection histogram
+// (STATS format=json, "latency") then reports the publish-to-push
+// delay distribution — the number an event-driven application cares
+// about more than raw throughput, because rule actions fire on
+// delivery. Percentiles are power-of-two bucket upper bounds.
+func e21() {
+	header("E21", "delivery latency under sustained PUBB load: p50/p99/p999 from STATS format=json (PROTOCOL.md)")
+	N := n(100000, 10000)
+	const batch = 256
+
+	eng, err := core.Open(core.Config{})
+	must(err)
+	defer eng.Close()
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{SubBuffer: 16384})
+	must(err)
+	defer srv.Close()
+
+	sub, err := client.Dial(srv.Addr())
+	must(err)
+	defer sub.Close()
+	stream, err := sub.Subscribe("s", "", 16384)
+	must(err)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < N; i++ {
+			<-stream.C
+		}
+	}()
+
+	pub, err := client.Dial(srv.Addr())
+	must(err)
+	defer pub.Close()
+	evs := make([]*client.Event, batch)
+	sent := 0
+	for sent < N {
+		k := batch
+		if N-sent < k {
+			k = N - sent
+		}
+		for i := 0; i < k; i++ {
+			// event.New stamps Time now, so the histogram measures the
+			// full publish → match → push path.
+			evs[i] = event.New("tick", map[string]any{"i": sent + i})
+		}
+		_, err := pub.PublishBatch(evs[:k])
+		must(err)
+		sent += k
+	}
+	<-done
+
+	raw, err := sub.StatsJSON()
+	must(err)
+	var st struct {
+		Latency struct {
+			N      int64 `json:"n"`
+			MeanUS int64 `json:"mean_us"`
+			P50US  int64 `json:"p50_us"`
+			P99US  int64 `json:"p99_us"`
+			P999US int64 `json:"p999_us"`
+			MaxUS  int64 `json:"max_us"`
+		} `json:"latency"`
+	}
+	must(json.Unmarshal(raw, &st))
+	if st.Latency.N == 0 {
+		must(fmt.Errorf("e21: no latency observations"))
+	}
+
+	record("e21.latency.p50", float64(st.Latency.P50US)*1e3, 0, 0)
+	record("e21.latency.p99", float64(st.Latency.P99US)*1e3, 0, 0)
+	record("e21.latency.p999", float64(st.Latency.P999US)*1e3, 0, 0)
+	fmt.Println("| events | batch | observed | mean µs | p50 µs | p99 µs | p999 µs | max µs |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	fmt.Printf("| %d | %d | %d | %d | %d | %d | %d | %d |\n",
+		N, batch, st.Latency.N, st.Latency.MeanUS, st.Latency.P50US,
+		st.Latency.P99US, st.Latency.P999US, st.Latency.MaxUS)
+}

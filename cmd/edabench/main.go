@@ -1,5 +1,5 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E19 from DESIGN.md, each checking a claim
+// one table per experiment E1–E21 from DESIGN.md, each checking a claim
 // of the tutorial. Run with -quick for smaller sweeps; -shards and
 // -batch pin the E13 pipeline sweep to one configuration; -subs sets
 // the E14 wire-subscriber count and -net points E14's streaming half
@@ -50,6 +50,7 @@ var (
 	subsArg   = flag.Int("subs", 4, "E14: wire subscriber connections")
 	netArg    = flag.String("net", "", "E14: address of a running eventdbd (empty = in-process server)")
 	jsonArg   = flag.String("json", "", "write machine-readable results (BENCH.json) to this path")
+	e20Events = flag.Int("e20events", 0, "E20: event count override (0 = 1M full, 20k quick)")
 )
 
 func main() {
@@ -73,6 +74,8 @@ func main() {
 	e17()
 	e18()
 	e19()
+	e20()
+	e21()
 	writeJSON()
 }
 

@@ -1,0 +1,769 @@
+package columnar
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"eventdb/internal/storage"
+	"eventdb/internal/wal"
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// SealRows is the pending-row threshold at which the background
+	// sealer drains a table's row batch into a segment. Defaults to
+	// 8192. Seals always cut on whole-commit boundaries, so a segment
+	// may slightly exceed this.
+	SealRows int
+	// SealInterval is the sealer's wake-up cadence. Defaults to 200ms.
+	SealInterval time.Duration
+	// Dir, when non-empty, persists sealed segments as files so a
+	// restart reloads them instead of re-mining the WAL. Segments that
+	// fail validation (partial write, CRC mismatch, schema drift) are
+	// discarded and rebuilt from the WAL.
+	Dir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.SealRows <= 0 {
+		c.SealRows = 8192
+	}
+	if c.SealRows < 64 {
+		c.SealRows = 64
+	}
+	if c.SealInterval <= 0 {
+		c.SealInterval = 200 * time.Millisecond
+	}
+	return c
+}
+
+// registry maps a *storage.DB to its attached Manager so that layers
+// that only hold a DB handle (query planner, journal miner) can find
+// the columnar history without threading a manager through every call
+// site.
+var registry sync.Map // *storage.DB → *Manager
+
+// Of returns the Manager attached to db, or nil.
+func Of(db *storage.DB) *Manager {
+	if m, ok := registry.Load(db); ok {
+		return m.(*Manager)
+	}
+	return nil
+}
+
+// Manager owns the columnar history of one database: a TableStore per
+// table, fed by the commit-hook stream, drained by a background
+// sealer.
+type Manager struct {
+	db      *storage.DB
+	cfg     Config
+	durable bool
+
+	mu     sync.RWMutex
+	stores map[string]*TableStore
+
+	// Bootstrap buffering: commits that land while Attach is replaying
+	// the WAL are buffered and drained afterwards (with LSN/row dedup),
+	// so the hook can be registered before the replay without losing
+	// or double-counting commits.
+	bootMu  sync.Mutex
+	booting bool
+	bootBuf []*storage.CommitInfo
+
+	errMu   sync.Mutex
+	lastErr error
+
+	removeHook func()
+	kick       chan struct{}
+	done       chan struct{}
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+// pendingRow is one committed insert not yet sealed.
+type pendingRow struct {
+	id   storage.RowID
+	lsn  uint64
+	grp  uint64 // seal-group key: LSN when durable, commit seq otherwise
+	row  storage.Row
+	dead bool // superseded by a later update/delete
+	gone bool // superseded specifically by a delete
+}
+
+// TableStore holds one table's columnar history: sealed segments plus
+// the pending tail.
+type TableStore struct {
+	table  string
+	schema *storage.Schema
+
+	// sealMu serializes seal operations (background sealer vs forced
+	// Compact); mu guards all mutable state below.
+	sealMu sync.Mutex
+	mu     sync.RWMutex
+
+	segs    []*Segment
+	pending []pendingRow
+	// modified marks sealed rows whose current version lives in the
+	// row store (they were updated after sealing), so scans read them
+	// from the table instead of the segment.
+	modified     map[storage.RowID]bool
+	maxSealedID  storage.RowID
+	maxSealedLSN uint64
+	maxGrp       uint64 // dedup guard: highest observed seal-group key
+	sealedTotal  uint64
+}
+
+// TableStats is the COMPACT/stats surface for one table.
+type TableStats struct {
+	Table       string `json:"table"`
+	Segments    int    `json:"segments"`
+	SealedRows  int    `json:"sealed_rows"`
+	DeadRows    int    `json:"dead_rows"`
+	PendingRows int    `json:"pending_rows"`
+	MemBytes    int    `json:"bytes"`
+	LastLSN     uint64 `json:"last_lsn"`
+}
+
+// Attach creates a Manager over db and registers it in the package
+// registry. For durable databases the WAL is replayed (and persisted
+// segments reloaded) so history predating the attach is covered; for
+// volatile databases current table contents are snapshotted. Attach
+// should run before the database takes concurrent write traffic —
+// commits racing the bootstrap are handled, but tables created after
+// Attach by a racing writer start tracking from their first observed
+// commit.
+func Attach(db *storage.DB, cfg Config) (*Manager, error) {
+	m := &Manager{
+		db:      db,
+		cfg:     cfg.withDefaults(),
+		durable: db.Durable(),
+		stores:  make(map[string]*TableStore),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		booting: true,
+	}
+	if _, loaded := registry.LoadOrStore(db, m); loaded {
+		return nil, fmt.Errorf("columnar: database already has an attached manager")
+	}
+	m.removeHook = db.OnCommit(m.onCommit)
+
+	if m.durable {
+		if m.cfg.Dir != "" {
+			if err := m.loadSegments(); err != nil {
+				// Unreadable segment state is never fatal: drop it and
+				// rebuild from the WAL.
+				m.setErr(err)
+			}
+		}
+		if err := m.bootstrapWAL(); err != nil {
+			m.detach()
+			return nil, err
+		}
+	} else {
+		m.bootstrapTables()
+	}
+
+	// Drain commits buffered during bootstrap, then go live.
+	m.bootMu.Lock()
+	for _, ci := range m.bootBuf {
+		m.observe(ci)
+	}
+	m.bootBuf = nil
+	m.booting = false
+	m.bootMu.Unlock()
+
+	m.wg.Add(1)
+	go m.sealLoop()
+	return m, nil
+}
+
+func (m *Manager) detach() {
+	m.removeHook()
+	registry.CompareAndDelete(m.db, m)
+}
+
+// Close stops the sealer and detaches from the database. Sealed
+// in-memory state is dropped; durable databases rebuild it on the
+// next Attach from segment files and the WAL.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		close(m.done)
+		m.wg.Wait()
+		m.detach()
+	})
+}
+
+// Err returns the last background error (segment persistence or
+// reload), if any. Background errors never stop the engine: the WAL
+// remains the source of truth.
+func (m *Manager) Err() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.lastErr
+}
+
+func (m *Manager) setErr(err error) {
+	if err == nil {
+		return
+	}
+	m.errMu.Lock()
+	m.lastErr = err
+	m.errMu.Unlock()
+}
+
+// Table returns the store for a table, or nil if the table has no
+// observed history.
+func (m *Manager) Table(name string) *TableStore {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stores[name]
+}
+
+func (m *Manager) store(name string) *TableStore {
+	m.mu.RLock()
+	st := m.stores[name]
+	m.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	tbl, ok := m.db.Table(name)
+	if !ok {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st = m.stores[name]; st != nil {
+		return st
+	}
+	st = &TableStore{
+		table:    name,
+		schema:   tbl.Schema(),
+		modified: make(map[storage.RowID]bool),
+	}
+	m.stores[name] = st
+	return st
+}
+
+func (m *Manager) allStores() []*TableStore {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*TableStore, 0, len(m.stores))
+	for _, st := range m.stores {
+		out = append(out, st)
+	}
+	return out
+}
+
+// onCommit is the registered commit hook.
+func (m *Manager) onCommit(ci *storage.CommitInfo) {
+	m.bootMu.Lock()
+	if m.booting {
+		m.bootBuf = append(m.bootBuf, ci)
+		m.bootMu.Unlock()
+		return
+	}
+	m.bootMu.Unlock()
+	m.observe(ci)
+}
+
+// observe folds one committed transaction into the per-table stores.
+// Each table's slice of the commit is applied in a single critical
+// section: a concurrent seal must see either none or all of a commit's
+// inserts, or the seal cut could split the commit.
+func (m *Manager) observe(ci *storage.CommitInfo) {
+	grp := ci.Seq
+	if m.durable {
+		grp = ci.LSN
+	}
+	byTable := make(map[string][]int)
+	var tables []string
+	for i := range ci.Changes {
+		t := ci.Changes[i].Table
+		if _, seen := byTable[t]; !seen {
+			tables = append(tables, t)
+		}
+		byTable[t] = append(byTable[t], i)
+	}
+	var wantKick bool
+	for _, table := range tables {
+		st := m.store(table)
+		if st == nil {
+			continue
+		}
+		st.mu.Lock()
+		for _, i := range byTable[table] {
+			st.applyLocked(&ci.Changes[i], ci.LSN, grp)
+		}
+		if len(st.pending) >= m.cfg.SealRows {
+			wantKick = true
+		}
+		st.mu.Unlock()
+	}
+	if wantKick {
+		select {
+		case m.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// applyLocked folds one change into the store; returns true if a
+// pending row was appended. Caller holds mu.
+func (st *TableStore) applyLocked(c *storage.Change, lsn, grp uint64) bool {
+	switch c.Kind {
+	case storage.Insert:
+		// Dedup against bootstrap: the WAL replay and the buffered
+		// hook stream can both deliver a commit; group key and row ID
+		// are each monotonic, so replays are cheap to recognize. The
+		// group check must be strict — a commit's inserts all share one
+		// group key; the row-ID checks below handle the equal case.
+		if grp != 0 && grp < st.maxGrp {
+			return false
+		}
+		if id := c.ID; id <= st.maxSealedID ||
+			(len(st.pending) > 0 && id <= st.pending[len(st.pending)-1].id) {
+			return false
+		}
+		st.pending = append(st.pending, pendingRow{id: c.ID, lsn: lsn, grp: grp, row: c.New})
+		if grp > st.maxGrp {
+			st.maxGrp = grp
+		}
+		return true
+	case storage.Update:
+		// Re-observing an update (bootstrap replay overlap) is
+		// harmless: dead-marking is idempotent.
+		st.markDeadLocked(c.ID, false)
+		if grp > st.maxGrp {
+			st.maxGrp = grp
+		}
+	case storage.Delete:
+		st.markDeadLocked(c.ID, true)
+		if grp > st.maxGrp {
+			st.maxGrp = grp
+		}
+	}
+	return false
+}
+
+// markDeadLocked marks a row (wherever it lives) as superseded.
+// Caller holds mu.
+func (st *TableStore) markDeadLocked(id storage.RowID, gone bool) {
+	if i := st.findPendingLocked(id); i >= 0 {
+		st.pending[i].dead = true
+		if gone {
+			st.pending[i].gone = true
+		}
+		return
+	}
+	for _, seg := range st.segs {
+		first, last, _, _ := seg.Bounds()
+		if id < first || id > last {
+			continue
+		}
+		if pos := seg.find(id); pos >= 0 {
+			seg.markDead(pos)
+			if gone {
+				delete(st.modified, id)
+			} else {
+				st.modified[id] = true
+			}
+			return
+		}
+	}
+}
+
+// findPendingLocked binary-searches pending (sorted by id).
+func (st *TableStore) findPendingLocked(id storage.RowID) int {
+	lo, hi := 0, len(st.pending)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.pending[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(st.pending) && st.pending[lo].id == id {
+		return lo
+	}
+	return -1
+}
+
+// ---- bootstrap ----
+
+// bootstrapWAL replays the full WAL into the stores. Inserts already
+// covered by reloaded segment files are skipped by LSN; updates and
+// deletes always re-apply their dead marks (segment files do not
+// persist dead bits).
+func (m *Manager) bootstrapWAL() error {
+	log := m.db.WAL()
+	if log == nil {
+		return nil
+	}
+	return log.Replay(0, func(r wal.Record) error {
+		changes, ok, err := storage.DecodeCommitRecord(r)
+		if err != nil {
+			return fmt.Errorf("columnar: bootstrap lsn=%d: %w", r.LSN, err)
+		}
+		if !ok {
+			return nil
+		}
+		for i := range changes {
+			c := &changes[i]
+			st := m.store(c.Table)
+			if st == nil {
+				continue
+			}
+			st.mu.Lock()
+			switch c.Kind {
+			case storage.Insert:
+				if r.LSN > st.maxSealedLSN {
+					st.pending = append(st.pending, pendingRow{id: c.ID, lsn: r.LSN, grp: r.LSN, row: c.New})
+				}
+			case storage.Update:
+				st.markDeadLocked(c.ID, false)
+			case storage.Delete:
+				st.markDeadLocked(c.ID, true)
+			}
+			if r.LSN > st.maxGrp {
+				st.maxGrp = r.LSN
+			}
+			st.mu.Unlock()
+		}
+		return nil
+	})
+}
+
+// bootstrapTables snapshots current table contents of a volatile
+// database so history predating the attach is scannable.
+func (m *Manager) bootstrapTables() {
+	for _, name := range m.db.Tables() {
+		tbl, ok := m.db.Table(name)
+		if !ok {
+			continue
+		}
+		ids, rows := tbl.ScanRows()
+		if len(ids) == 0 {
+			continue
+		}
+		idx := make([]int, len(ids))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return ids[idx[a]] < ids[idx[b]] })
+		st := m.store(name)
+		if st == nil {
+			continue
+		}
+		st.mu.Lock()
+		for _, i := range idx {
+			st.pending = append(st.pending, pendingRow{id: ids[i], row: rows[i]})
+		}
+		st.mu.Unlock()
+	}
+}
+
+// ---- sealing ----
+
+func (m *Manager) sealLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.SealInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+		case <-m.kick:
+		}
+		for _, st := range m.allStores() {
+			for st.pendingLen() >= m.cfg.SealRows {
+				if !m.sealOne(st, m.cfg.SealRows) {
+					break
+				}
+			}
+		}
+	}
+}
+
+func (st *TableStore) pendingLen() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.pending)
+}
+
+// sealCut returns how many pending rows to seal: up to target, then
+// extended so a commit's inserts are never split across a seal
+// boundary (journal mining resumes WAL replay at maxSealedLSN+1, so a
+// split commit would double- or under-deliver).
+func sealCut(pending []pendingRow, target int) int {
+	if len(pending) == 0 {
+		return 0
+	}
+	cut := target
+	if cut >= len(pending) {
+		return len(pending)
+	}
+	for cut < len(pending) && pending[cut].grp == pending[cut-1].grp {
+		cut++
+	}
+	return cut
+}
+
+// sealOne drains up to target pending rows (whole commits) into one
+// segment. The encode happens outside the store lock; dead marks that
+// land during the build are re-applied at install.
+func (m *Manager) sealOne(st *TableStore, target int) bool {
+	st.sealMu.Lock()
+	defer st.sealMu.Unlock()
+
+	st.mu.Lock()
+	cut := sealCut(st.pending, target)
+	if cut == 0 {
+		st.mu.Unlock()
+		return false
+	}
+	ids := make([]storage.RowID, cut)
+	lsns := make([]uint64, cut)
+	rows := make([]storage.Row, cut)
+	for i := 0; i < cut; i++ {
+		p := &st.pending[i]
+		ids[i], lsns[i], rows[i] = p.id, p.lsn, p.row
+	}
+	schema := st.schema
+	st.mu.Unlock()
+
+	seg, err := buildSegment(st.table, schema, ids, lsns, rows)
+	if err != nil {
+		m.setErr(err)
+		return false
+	}
+
+	st.mu.Lock()
+	for i := 0; i < cut; i++ {
+		p := &st.pending[i]
+		if p.dead {
+			seg.markDead(i)
+			if !p.gone {
+				st.modified[p.id] = true
+			}
+		}
+	}
+	st.segs = append(st.segs, seg)
+	st.maxSealedID = seg.ids[seg.rows-1]
+	if seg.lastLSN > st.maxSealedLSN {
+		st.maxSealedLSN = seg.lastLSN
+	}
+	st.pending = append(st.pending[:0:0], st.pending[cut:]...)
+	st.sealedTotal++
+	st.mu.Unlock()
+
+	if m.durable && m.cfg.Dir != "" {
+		if err := m.persistSegment(seg); err != nil {
+			m.setErr(err)
+		}
+	}
+	return true
+}
+
+// Compact force-seals every pending row of a table (all tables when
+// name is empty) and returns the resulting stats.
+func (m *Manager) Compact(name string) ([]TableStats, error) {
+	var stores []*TableStore
+	if name == "" {
+		stores = m.allStores()
+	} else if st := m.Table(name); st != nil {
+		stores = []*TableStore{st}
+	} else {
+		return nil, fmt.Errorf("columnar: no history for table %q", name)
+	}
+	for _, st := range stores {
+		for st.pendingLen() > 0 {
+			if !m.sealOne(st, 1<<30) {
+				break
+			}
+		}
+	}
+	out := make([]TableStats, 0, len(stores))
+	for _, st := range stores {
+		out = append(out, st.Stats())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Table < out[b].Table })
+	return out, nil
+}
+
+// Stats returns a snapshot of every table's segment stats, sorted by
+// table name.
+func (m *Manager) Stats() []TableStats {
+	stores := m.allStores()
+	out := make([]TableStats, 0, len(stores))
+	for _, st := range stores {
+		out = append(out, st.Stats())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Table < out[b].Table })
+	return out
+}
+
+// Stats summarizes the store.
+func (st *TableStore) Stats() TableStats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s := TableStats{
+		Table:       st.table,
+		Segments:    len(st.segs),
+		PendingRows: len(st.pending),
+		LastLSN:     st.maxSealedLSN,
+	}
+	for _, seg := range st.segs {
+		s.SealedRows += seg.rows
+		s.DeadRows += seg.deadCount
+		s.MemBytes += seg.bytes
+	}
+	return s
+}
+
+// ---- scan snapshots ----
+
+// SegView is one segment plus the dead bitmap as of snapshot time.
+type SegView struct {
+	Seg  *Segment
+	dead []uint64
+}
+
+// IsDead reports whether segment row i was superseded as of the
+// snapshot.
+func (sv SegView) IsDead(i int) bool { return deadBit(sv.dead, i) }
+
+// HasDead reports whether any row in this segment was dead as of the
+// snapshot, letting scans skip the per-row dead check entirely.
+func (sv SegView) HasDead() bool { return sv.dead != nil }
+
+// TailRow is one row whose current version lived in the row store as
+// of the snapshot: a pending (never-sealed) insert, or a sealed row
+// superseded by an update. Row is the insert-time value for live
+// pending rows; nil means the current version must be fetched from
+// the table (it was rewritten after this copy was taken).
+type TailRow struct {
+	ID  storage.RowID
+	Row storage.Row
+}
+
+// Snapshot is a point-in-time view of a table's sealed history for
+// one scan: the segment list, each segment's dead bitmap, and the
+// row-store tail.
+type Snapshot struct {
+	Schema *storage.Schema
+	Segs   []SegView
+	// MaxSealedID is the highest sealed RowID: rows above it live only
+	// in the row store.
+	MaxSealedID storage.RowID
+	// Tail enumerates every row the row store must be consulted for,
+	// so scans touch O(tail) rows instead of iterating the whole table.
+	Tail     []TailRow
+	modified map[storage.RowID]bool
+}
+
+// InRowStore reports whether the current version of a row must be
+// read from the row store rather than a segment: either it was never
+// sealed, or it was updated after sealing.
+func (s *Snapshot) InRowStore(id storage.RowID) bool {
+	return id > s.MaxSealedID || s.modified[id]
+}
+
+// SealedRows returns the total sealed row count in the snapshot.
+func (s *Snapshot) SealedRows() int {
+	n := 0
+	for _, sv := range s.Segs {
+		n += sv.Seg.rows
+	}
+	return n
+}
+
+// Snapshot captures the store's sealed state for one consistent scan,
+// or nil if nothing is sealed yet. Dead bitmaps are copied (they are
+// the one mutable part of a segment); segments themselves are shared
+// immutably.
+func (st *TableStore) Snapshot() *Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if len(st.segs) == 0 {
+		return nil
+	}
+	snap := &Snapshot{
+		Schema:      st.schema,
+		Segs:        make([]SegView, len(st.segs)),
+		MaxSealedID: st.maxSealedID,
+		modified:    make(map[storage.RowID]bool, len(st.modified)),
+	}
+	for i, seg := range st.segs {
+		sv := SegView{Seg: seg}
+		if seg.deadCount > 0 {
+			sv.dead = append([]uint64(nil), seg.dead...)
+		}
+		snap.Segs[i] = sv
+	}
+	snap.Tail = make([]TailRow, 0, len(st.pending)+len(st.modified))
+	for i := range st.pending {
+		p := &st.pending[i]
+		if p.gone {
+			continue
+		}
+		tr := TailRow{ID: p.id}
+		if !p.dead {
+			tr.Row = p.row // rows are immutable; safe to share
+		}
+		snap.Tail = append(snap.Tail, tr)
+	}
+	for id := range st.modified {
+		snap.modified[id] = true
+		snap.Tail = append(snap.Tail, TailRow{ID: id})
+	}
+	return snap
+}
+
+// ---- history mining ----
+
+// MineInserts replays the sealed insert history of one table in LSN
+// order, including rows later updated or deleted (the insert happened
+// regardless of the row's later fate — exactly what REPLAY wants).
+// It returns the LSN after the sealed prefix, from which the caller
+// should continue with a WAL replay; fromLSN is returned unchanged
+// when segments cover nothing at or after it.
+func (m *Manager) MineInserts(table string, fromLSN uint64, fn func(lsn uint64, c *storage.Change) error) (nextLSN uint64, err error) {
+	st := m.Table(table)
+	if st == nil {
+		return fromLSN, nil
+	}
+	st.mu.RLock()
+	segs := append([]*Segment(nil), st.segs...)
+	maxSealedLSN := st.maxSealedLSN
+	st.mu.RUnlock()
+	if maxSealedLSN == 0 || maxSealedLSN < fromLSN {
+		return fromLSN, nil
+	}
+	width := len(st.schema.Columns)
+	for _, seg := range segs {
+		if seg.lastLSN < fromLSN {
+			continue
+		}
+		r := seg.NewReader(nil)
+		var b Batch
+		for r.Next(&b) {
+			for i := 0; i < b.Len; i++ {
+				lsn := seg.lsns[b.Start+i]
+				if lsn < fromLSN {
+					continue
+				}
+				row := make(storage.Row, width)
+				b.MaterializeRow(row, i)
+				c := storage.Change{Table: table, Kind: storage.Insert, ID: seg.ids[b.Start+i], New: row}
+				if err := fn(lsn, &c); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return maxSealedLSN + 1, nil
+}

@@ -11,11 +11,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eventdb/internal/audit"
+	"eventdb/internal/columnar"
 	"eventdb/internal/event"
 	"eventdb/internal/journal"
 	"eventdb/internal/metrics"
@@ -64,6 +66,17 @@ type Config struct {
 	// ShardKey derives the partition key from an event; nil partitions
 	// by event type.
 	ShardKey func(*event.Event) string
+
+	// ColumnarDisabled turns off the columnar history store. By default
+	// every engine seals committed table history into immutable column
+	// segments that serve full-scan queries and REPLAY backfill.
+	ColumnarDisabled bool
+	// ColumnarSealRows overrides the pending-row threshold at which a
+	// table's history is sealed into a segment (default 8192).
+	ColumnarSealRows int
+	// ColumnarSealInterval overrides the background sealer cadence
+	// (default 200ms).
+	ColumnarSealInterval time.Duration
 }
 
 // Engine is the assembled event-processing platform.
@@ -77,6 +90,8 @@ type Engine struct {
 	Metrics  *metrics.Registry
 	Guard    *security.Guard
 	Trail    *audit.Trail
+	// History is the columnar history store (nil when disabled).
+	History *columnar.Manager
 
 	ingestCount atomic.Uint64
 	closed      atomic.Bool
@@ -116,6 +131,21 @@ func Open(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		e.Trail = tr
+	}
+	if !cfg.ColumnarDisabled {
+		ccfg := columnar.Config{
+			SealRows:     cfg.ColumnarSealRows,
+			SealInterval: cfg.ColumnarSealInterval,
+		}
+		if cfg.Dir != "" {
+			ccfg.Dir = filepath.Join(cfg.Dir, "segments")
+		}
+		hist, err := columnar.Attach(db, ccfg)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		e.History = hist
 	}
 	e.scratch.New = func() any {
 		return &batchScratch{m: e.Rules.NewMatcher(), pub: e.Broker.NewPublisher()}
@@ -160,7 +190,29 @@ func (e *Engine) Close() error {
 	}
 	e.Triggers.Close()
 	e.Queues.Close()
+	if e.History != nil {
+		e.History.Close()
+	}
 	return e.DB.Close()
+}
+
+// Compact force-seals pending columnar history into segments — all
+// tables when table is empty — and returns per-table segment stats.
+// It errors when the columnar store is disabled.
+func (e *Engine) Compact(table string) ([]columnar.TableStats, error) {
+	if e.History == nil {
+		return nil, errors.New("core: columnar history disabled")
+	}
+	return e.History.Compact(table)
+}
+
+// SegmentStats reports per-table columnar store statistics (empty when
+// the columnar store is disabled).
+func (e *Engine) SegmentStats() []columnar.TableStats {
+	if e.History == nil {
+		return nil
+	}
+	return e.History.Stats()
 }
 
 // Ingest pushes one event through the evaluation layer: rules fire

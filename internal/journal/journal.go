@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"eventdb/internal/columnar"
 	"eventdb/internal/event"
 	"eventdb/internal/storage"
 	"eventdb/internal/trigger"
@@ -94,6 +95,12 @@ func (m *Miner) Mine(fromLSN uint64, f Filter, fn func(*event.Event) error) (nex
 // values directly instead of going through attribute maps. Changes to
 // tables that no longer exist are still delivered — the WAL remembers
 // them even if the schema registry does not.
+//
+// When the mined shape is one table's inserts and the database has a
+// columnar store attached, the sealed prefix of the history is served
+// from segments (no WAL decode, no per-record filtering) and only the
+// unsealed tail replays from the WAL. Output is identical either way:
+// the same inserts, in LSN order.
 func (m *Miner) MineChanges(fromLSN uint64, f Filter, fn func(lsn uint64, c *storage.Change) error) (nextLSN uint64, err error) {
 	log := m.db.WAL()
 	if log == nil {
@@ -101,6 +108,18 @@ func (m *Miner) MineChanges(fromLSN uint64, f Filter, fn func(lsn uint64, c *sto
 	}
 	pass := f.compile()
 	nextLSN = fromLSN
+	if len(f.Tables) == 1 && len(f.Ops) == 1 && f.Ops[0] == storage.Insert {
+		if cm := columnar.Of(m.db); cm != nil {
+			next, err := cm.MineInserts(f.Tables[0], fromLSN, fn)
+			if err != nil {
+				return next, err
+			}
+			if next > fromLSN {
+				fromLSN = next
+				nextLSN = next
+			}
+		}
+	}
 	err = log.Replay(fromLSN, func(r wal.Record) error {
 		nextLSN = r.LSN + 1
 		changes, ok, err := storage.DecodeCommitRecord(r)

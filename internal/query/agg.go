@@ -1,9 +1,12 @@
 package query
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 
+	"eventdb/internal/columnar"
 	"eventdb/internal/expr"
 	"eventdb/internal/val"
 )
@@ -69,6 +72,86 @@ func (a *accumulator) result() val.Value {
 		return a.best
 	}
 	return val.Null
+}
+
+// addVec folds a vector's masked rows (mask[i] == 1) into the
+// accumulator without boxing: numeric sums run straight over the raw
+// slices, and min/max find the batch extremum unboxed before a single
+// add() call. Semantics — null skipping, error text, NaN ordering —
+// match per-row add() exactly.
+func (a *accumulator) addVec(v *columnar.Vector, mask []int8, n int) error {
+	switch a.kind {
+	case Count:
+		for i := 0; i < n; i++ {
+			if mask[i] == 1 && !v.Null[i] {
+				a.count++
+			}
+		}
+	case Sum, Avg:
+		switch v.Kind {
+		case val.KindInt:
+			for i := 0; i < n; i++ {
+				if mask[i] == 1 && !v.Null[i] {
+					a.sum += float64(v.I64[i])
+					a.count++
+				}
+			}
+		case val.KindFloat:
+			for i := 0; i < n; i++ {
+				if mask[i] == 1 && !v.Null[i] {
+					a.sum += v.F64[i]
+					a.count++
+				}
+			}
+		default:
+			for i := 0; i < n; i++ {
+				if mask[i] == 1 && !v.Null[i] {
+					return fmt.Errorf("query: %s over non-numeric value %s", a.kind, v.Kind)
+				}
+			}
+		}
+	case Min, Max:
+		best := -1
+		for i := 0; i < n; i++ {
+			if mask[i] != 1 || v.Null[i] {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			var c int
+			switch v.Kind {
+			case val.KindInt, val.KindTime, val.KindBool:
+				switch {
+				case v.I64[i] < v.I64[best]:
+					c = -1
+				case v.I64[i] > v.I64[best]:
+					c = 1
+				}
+			case val.KindFloat:
+				// NaN compares as neither, matching val.Compare: a NaN
+				// that arrives first sticks, later ones never displace.
+				switch {
+				case v.F64[i] < v.F64[best]:
+					c = -1
+				case v.F64[i] > v.F64[best]:
+					c = 1
+				}
+			case val.KindString:
+				c = strings.Compare(v.Dict[v.Code[i]], v.Dict[v.Code[best]])
+			case val.KindBytes:
+				c = bytes.Compare(v.Bytes[i], v.Bytes[best])
+			}
+			if (a.kind == Min && c < 0) || (a.kind == Max && c > 0) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return a.add(v.Value(best))
+		}
+	}
+	return nil
 }
 
 // aggregate computes GROUP BY output over matched rows.

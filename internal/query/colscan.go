@@ -1,0 +1,224 @@
+package query
+
+import (
+	"eventdb/internal/columnar"
+	"eventdb/internal/expr"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+// Columnar execution: when a query would fall back to a full table
+// scan and the table has sealed history, the scan is served from
+// column vectors instead of the row map. The predicate runs as
+// compiled vector kernels over 1k-row batches (with whole segments
+// skipped by zone maps), only matching rows are materialized back
+// into boxed values, and ungrouped aggregates accumulate straight off
+// the vectors. The row store is then scanned only for the tail: rows
+// never sealed, plus sealed rows whose current version was rewritten
+// by a later update. Results are exactly what the row path produces —
+// pinned by the differential tests in colscan_test.go.
+
+type colStats struct {
+	segments int // segments in the snapshot
+	pruned   int // segments skipped entirely via zone maps
+}
+
+// colExec attempts columnar execution of a full-table scan. ok=false
+// means "not servable columnar" (no manager/segments, uncompilable
+// filter, joins, forced row scan) and the caller must run the row
+// path; ok=true with err set means the query failed in a way the row
+// path would also fail.
+func (q *Query) colExec(db *storage.DB, tbl *storage.Table, schema *storage.Schema, pred *expr.Predicate, selects []selectItem) (matched []expr.Resolver, agg *Result, stats colStats, ok bool, err error) {
+	if q.join != nil || q.noColumnar {
+		return nil, nil, stats, false, nil
+	}
+	mgr := columnar.Of(db)
+	if mgr == nil {
+		return nil, nil, stats, false, nil
+	}
+	st := mgr.Table(q.table)
+	if st == nil {
+		return nil, nil, stats, false, nil
+	}
+	snap := st.Snapshot()
+	if snap == nil || snap.Schema != schema {
+		return nil, nil, stats, false, nil
+	}
+	var prog *columnar.FilterProg
+	if pred != nil {
+		p, compilable := columnar.CompileFilter(pred.Root, schema)
+		if !compilable {
+			return nil, nil, stats, false, nil
+		}
+		prog = p
+	}
+	stats.segments = len(snap.Segs)
+
+	// Ungrouped aggregates skip materialization entirely and
+	// accumulate off the vectors.
+	fastAgg := len(q.groupBy) == 0 && len(q.aggs) > 0
+
+	// Decode only the columns the query actually reads. Columns left
+	// undecoded stay NULL in materialized rows, which is only safe
+	// because nothing downstream can reference them.
+	ncols := len(schema.Columns)
+	need := make([]bool, ncols)
+	if prog != nil {
+		copy(need, prog.NeedCols())
+	}
+	markCol := func(name string) {
+		if ci := schema.ColIndex(name); ci >= 0 {
+			need[ci] = true
+		}
+	}
+	switch {
+	case fastAgg:
+		for _, a := range q.aggs {
+			if a.col != "" {
+				markCol(a.col)
+			}
+		}
+	case len(q.aggs) > 0 || len(selects) > 0:
+		for _, g := range q.groupBy {
+			markCol(g)
+		}
+		for _, a := range q.aggs {
+			if a.col != "" {
+				markCol(a.col)
+			}
+		}
+		for _, s := range selects {
+			for _, f := range expr.Fields(s.node) {
+				markCol(f)
+			}
+		}
+	default:
+		// SELECT * shaping reads every column.
+		for i := range need {
+			need[i] = true
+		}
+	}
+
+	var accs []*accumulator
+	aggCols := make([]int, len(q.aggs))
+	if fastAgg {
+		accs = make([]*accumulator, len(q.aggs))
+		for i, a := range q.aggs {
+			accs[i] = &accumulator{kind: a.kind}
+			aggCols[i] = -1
+			if a.col != "" {
+				aggCols[i] = schema.ColIndex(a.col)
+			}
+		}
+	}
+
+	mask := make([]int8, columnar.BatchSize)
+	for _, sv := range snap.Segs {
+		if pred != nil && !sv.Seg.CanMatch(pred.EqPreds, pred.RangePreds) {
+			stats.pruned++
+			continue
+		}
+		rd := sv.Seg.NewReader(need)
+		var b columnar.Batch
+		for rd.Next(&b) {
+			if prog != nil {
+				prog.Eval(&b, mask)
+			} else {
+				for i := 0; i < b.Len; i++ {
+					mask[i] = 1
+				}
+			}
+			if sv.HasDead() {
+				for i := 0; i < b.Len; i++ {
+					if mask[i] == 1 && sv.IsDead(b.Start+i) {
+						mask[i] = 0
+					}
+				}
+			}
+			if fastAgg {
+				for ai := range q.aggs {
+					acc := accs[ai]
+					if q.aggs[ai].kind == Count && q.aggs[ai].col == "" {
+						for i := 0; i < b.Len; i++ {
+							if mask[i] == 1 {
+								acc.count++
+							}
+						}
+						continue
+					}
+					ci := aggCols[ai]
+					if ci < 0 {
+						continue // unknown column resolves NULL: skipped
+					}
+					if err := acc.addVec(b.Vecs[ci], mask, b.Len); err != nil {
+						return nil, nil, stats, true, err
+					}
+				}
+				continue
+			}
+			for i := 0; i < b.Len; i++ {
+				if mask[i] != 1 {
+					continue
+				}
+				row := make(storage.Row, ncols)
+				b.MaterializeRow(row, i)
+				matched = append(matched, storage.RowResolver{Schema: schema, Row: row})
+			}
+		}
+	}
+
+	// Row-store tail: rows above the sealed high-water mark, plus
+	// sealed rows superseded by updates. The snapshot enumerates them,
+	// so this touches O(tail) rows, not the whole table — the scan is
+	// point-in-time as of the snapshot; commits racing the query land
+	// in the next one.
+	for _, tr := range snap.Tail {
+		row := tr.Row
+		if row == nil {
+			cur, live := tbl.Get(tr.ID)
+			if !live {
+				continue
+			}
+			row = cur
+		}
+		r := storage.RowResolver{Schema: schema, Row: row}
+		if pred != nil {
+			m, err := pred.Match(r)
+			if err != nil {
+				return nil, nil, stats, true, err
+			}
+			if !m {
+				continue
+			}
+		}
+		if fastAgg {
+			for ai := range q.aggs {
+				if q.aggs[ai].kind == Count && q.aggs[ai].col == "" {
+					accs[ai].count++
+					continue
+				}
+				v, _ := r.Get(q.aggs[ai].col)
+				if err := accs[ai].add(v); err != nil {
+					return nil, nil, stats, true, err
+				}
+			}
+			continue
+		}
+		matched = append(matched, r)
+	}
+
+	if fastAgg {
+		cols := make([]string, 0, len(q.aggs))
+		for _, a := range q.aggs {
+			cols = append(cols, a.alias)
+		}
+		out := &Result{Columns: cols}
+		row := make([]val.Value, 0, len(cols))
+		for _, acc := range accs {
+			row = append(row, acc.result())
+		}
+		out.Rows = append(out.Rows, row)
+		return nil, out, stats, true, nil
+	}
+	return matched, nil, stats, true, nil
+}

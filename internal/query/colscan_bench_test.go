@@ -1,0 +1,129 @@
+package query
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"eventdb/internal/columnar"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+// E20 benchmarks: the same filtered scan and windowed aggregate
+// through the row path and the vectorized columnar path, over the
+// same sealed history. `edabench e20` runs the full sweep; these keep
+// the comparison one `go test -bench` away.
+
+const benchRows = 100_000
+
+var (
+	benchOnce sync.Once
+	benchDB   *storage.DB
+)
+
+func e20DB(b *testing.B) *storage.DB {
+	b.Helper()
+	benchOnce.Do(func() {
+		db, err := storage.Open(storage.Options{})
+		if err != nil {
+			panic(err)
+		}
+		schema, err := storage.NewSchema("bench_events", []storage.Column{
+			{Name: "id", Kind: val.KindInt, NotNull: true},
+			{Name: "ts", Kind: val.KindTime},
+			{Name: "sym", Kind: val.KindString},
+			{Name: "price", Kind: val.KindFloat},
+			{Name: "qty", Kind: val.KindInt},
+		}, "id")
+		if err != nil {
+			panic(err)
+		}
+		if err := db.CreateTable(schema); err != nil {
+			panic(err)
+		}
+		m, err := columnar.Attach(db, columnar.Config{SealRows: 8192, SealInterval: time.Hour})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for start := 0; start < benchRows; start += 1000 {
+			txn := db.Begin()
+			for i := start; i < start+1000; i++ {
+				if err := txn.Insert("bench_events", map[string]val.Value{
+					"id":    val.Int(int64(i)),
+					"ts":    val.Time(time.Unix(1700000000+int64(i), 0).UTC()),
+					"sym":   val.String(colSyms[rng.Intn(len(colSyms))]),
+					"price": val.Float(float64(rng.Intn(40000)) / 4),
+					"qty":   val.Int(int64(rng.Intn(1000))),
+				}); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := txn.Commit(); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := m.Compact(""); err != nil {
+			panic(err)
+		}
+		benchDB = db
+	})
+	return benchDB
+}
+
+func benchScan(b *testing.B, columnarPath bool) {
+	db := e20DB(b)
+	mk := func() *Query {
+		q := New("bench_events").Where("sym = 'ACME' AND price > 7500").Select("id", "price")
+		if !columnarPath {
+			q = q.NoColumnar()
+		}
+		return q
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mk().Run(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkE20RowScan(b *testing.B)      { benchScan(b, false) }
+func BenchmarkE20ColumnarScan(b *testing.B) { benchScan(b, true) }
+
+func benchWindowedAgg(b *testing.B, columnarPath bool) {
+	db := e20DB(b)
+	// A half-range window over the ordered id column with the full
+	// aggregate set: the shape a Differ polls to watch a sliding metric.
+	mk := func() *Query {
+		q := New("bench_events").Where("id >= 25000 AND id < 75000").
+			Agg("n", Count, "").Agg("s", Sum, "qty").Agg("lo", Min, "price").Agg("hi", Max, "price")
+		if !columnarPath {
+			q = q.NoColumnar()
+		}
+		return q
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mk().Run(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("agg rows = %d", len(res.Rows))
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkE20RowWindowedAggregate(b *testing.B)      { benchWindowedAgg(b, false) }
+func BenchmarkE20ColumnarWindowedAggregate(b *testing.B) { benchWindowedAgg(b, true) }

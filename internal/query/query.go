@@ -94,6 +94,8 @@ type Query struct {
 	offset  int
 	join    *joinSpec
 	err     error
+
+	noColumnar bool
 }
 
 // New starts a query over a table.
@@ -143,6 +145,14 @@ func (q *Query) Offset(n int) *Query {
 	return q
 }
 
+// NoColumnar forces row-at-a-time execution even when the table has
+// sealed columnar segments. Used by benchmarks and the row-vs-columnar
+// differential tests; results are identical either way.
+func (q *Query) NoColumnar() *Query {
+	q.noColumnar = true
+	return q
+}
+
 // Join performs an inner equi-join with another table on
 // left.leftCol = right.rightCol. Columns of the joined row are addressed
 // bare (left first) or qualified as "table.col".
@@ -185,9 +195,13 @@ func (r *Result) Get(i int, col string) (val.Value, bool) {
 // Plan describes how Run will execute, for tests and EXPLAIN-style
 // diagnostics.
 type Plan struct {
-	Access    string // "scan", "index-eq", "index-range"
+	Access    string // "scan", "columnar", "index-eq", "index-range"
 	IndexName string
 	Joined    bool
+	// Columnar scans only: segments considered and how many of those
+	// zone maps excluded outright.
+	Segments       int
+	SegmentsPruned int
 }
 
 // Run executes the query.
@@ -228,7 +242,9 @@ func (q *Query) run(db *storage.DB) (*Result, Plan, error) {
 		selects = append(selects, item)
 	}
 
-	// Access path: prefer an equality index, then a range index.
+	// Access path: prefer an equality index, then a range index. A
+	// plain scan defers materialization — it may be served from the
+	// columnar store below.
 	ids, rows, plan := q.access(tbl, pred)
 
 	var rightTbl *storage.Table
@@ -256,11 +272,26 @@ func (q *Query) run(db *storage.DB) (*Result, Plan, error) {
 		plan.Joined = true
 	}
 
-	// Filter (and join) pass.
-	type outRow struct {
-		resolver expr.Resolver
+	// Filter (and join) pass. A full scan tries the columnar store
+	// first: sealed segments are filtered with vector kernels and only
+	// the row-store tail is considered row-by-row.
+	var matched []expr.Resolver
+	var colAgg *Result
+	if plan.Access == "scan" {
+		m, aggRes, cs, served, err := q.colExec(db, tbl, schema, pred, selects)
+		if err != nil {
+			return nil, plan, err
+		}
+		if served {
+			plan.Access = "columnar"
+			plan.Segments = cs.segments
+			plan.SegmentsPruned = cs.pruned
+			matched = m
+			colAgg = aggRes
+		} else {
+			_, rows = tbl.ScanRows()
+		}
 	}
-	var matched []outRow
 	lci := -1
 	if q.join != nil {
 		lci = schema.ColIndex(q.join.leftCol)
@@ -285,7 +316,7 @@ func (q *Query) run(db *storage.DB) (*Result, Plan, error) {
 						continue
 					}
 				}
-				matched = append(matched, outRow{resolver: r})
+				matched = append(matched, r)
 			}
 			return nil
 		}
@@ -299,7 +330,7 @@ func (q *Query) run(db *storage.DB) (*Result, Plan, error) {
 				return nil
 			}
 		}
-		matched = append(matched, outRow{resolver: r})
+		matched = append(matched, r)
 		return nil
 	}
 	if rows != nil {
@@ -324,11 +355,11 @@ func (q *Query) run(db *storage.DB) (*Result, Plan, error) {
 	var out *Result
 	switch {
 	case len(q.groupBy) > 0 || len(q.aggs) > 0:
-		resolvers := make([]expr.Resolver, len(matched))
-		for i, m := range matched {
-			resolvers[i] = m.resolver
+		if colAgg != nil {
+			out = colAgg
+			break
 		}
-		r, err := q.aggregate(resolvers)
+		r, err := q.aggregate(matched)
 		if err != nil {
 			return nil, plan, err
 		}
@@ -342,7 +373,7 @@ func (q *Query) run(db *storage.DB) (*Result, Plan, error) {
 		for _, m := range matched {
 			row := make([]val.Value, len(selects))
 			for i, s := range selects {
-				v, err := expr.Eval(s.node, m.resolver)
+				v, err := expr.Eval(s.node, m)
 				if err != nil {
 					return nil, plan, err
 				}
@@ -365,7 +396,7 @@ func (q *Query) run(db *storage.DB) (*Result, Plan, error) {
 		for _, m := range matched {
 			row := make([]val.Value, len(cols))
 			for i, c := range cols {
-				v, _ := m.resolver.Get(c)
+				v, _ := m.Get(c)
 				row[i] = v
 			}
 			out.Rows = append(out.Rows, row)
@@ -440,8 +471,9 @@ func (q *Query) access(tbl *storage.Table, pred *expr.Predicate) ([]storage.RowI
 			}
 		}
 	}
-	_, rows := tbl.ScanRows()
-	return nil, rows, Plan{Access: "scan"}
+	// Scans are left unmaterialized; run() decides between the
+	// columnar store and tbl.ScanRows.
+	return nil, nil, Plan{Access: "scan"}
 }
 
 // parseSelect parses "expr" or "expr AS alias".

@@ -147,6 +147,9 @@ func init() {
 	register("UNTRIG", cmdSpec{args: 1, usage: "UNTRIG <name>", mutating: true, handle: handleUntrig})
 	register("WATCH", cmdSpec{args: 1, tail: requiredTail, usage: "WATCH <name> <json-spec>", mutating: true, handle: handleWatch})
 	register("UNWATCH", cmdSpec{args: 1, usage: "UNWATCH <name>", mutating: true, handle: handleUnwatch})
+	// COMPACT only reorganizes the rebuildable columnar cache, so it is
+	// not a mutating verb and stays available on followers.
+	register("COMPACT", cmdSpec{tail: optionalTail, usage: "COMPACT [table] [format=json]", handle: handleCompact})
 
 	// Replication plane (replcmds.go): WAL shipping and promotion.
 	register("REPLICATE", cmdSpec{args: 1, usage: "REPLICATE <from-lsn>", handle: handleReplicate})

@@ -7,6 +7,7 @@ import (
 
 	"eventdb/internal/cq"
 	"eventdb/internal/event"
+	"eventdb/internal/metrics"
 	"eventdb/internal/pubsub"
 )
 
@@ -215,13 +216,23 @@ func handleStats(c *conn, req *request) bool {
 	}
 	c.mu.Unlock()
 	if format == "json" {
-		c.reply(fmt.Sprintf(`OK {"sent":%d,"dropped":%d,"queued":%d,"subs":%d,"cqs":%d,"qsubs":%d}`,
-			c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs))
+		c.reply(fmt.Sprintf(`OK {"sent":%d,"dropped":%d,"queued":%d,"subs":%d,"cqs":%d,"qsubs":%d,"latency":%s}`,
+			c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs, latencyJSON(&c.lat)))
 		return true
 	}
 	c.reply(fmt.Sprintf("OK sent=%d dropped=%d queued=%d subs=%d cqs=%d qsubs=%d",
 		c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs))
 	return true
+}
+
+// latencyJSON renders a delivery-latency histogram as a JSON object
+// with microsecond fields. Percentiles are upper bounds at the
+// histogram's power-of-two bucket resolution.
+func latencyJSON(h *metrics.LatencyHistogram) string {
+	return fmt.Sprintf(`{"n":%d,"mean_us":%d,"p50_us":%d,"p99_us":%d,"p999_us":%d,"max_us":%d}`,
+		h.Count(), h.Mean().Microseconds(),
+		h.Percentile(50).Microseconds(), h.Percentile(99).Microseconds(),
+		h.Percentile(99.9).Microseconds(), h.Max().Microseconds())
 }
 
 // statsFormat parses the optional "format=json" tail shared by STATS

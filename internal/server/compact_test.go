@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"eventdb/client"
+	"eventdb/internal/columnar"
+	"eventdb/internal/core"
+	"eventdb/internal/event"
+)
+
+// TestCompactVerb drives COMPACT over the wire: seal a table's history
+// into segments, read the summary in text and JSON, and check the
+// error taxonomy for unknown tables and malformed tails.
+func TestCompactVerb(t *testing.T) {
+	_, srv := startServer(t, core.Config{ColumnarSealRows: 64}, Config{})
+	c := dial(t, srv)
+	if err := c.CreateTable(client.TableSpec{
+		Name: "events",
+		Columns: []client.ColumnSpec{
+			{Name: "id", Kind: "int", NotNull: true},
+			{Name: "sym", Kind: "string"},
+		},
+		Key: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := c.Insert("events", map[string]any{"id": i, "sym": "ACME"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := rawDial(t, srv)
+	resp := r.ask("COMPACT events")
+	if !strings.HasPrefix(resp, "OK tables=1 segments=") {
+		t.Fatalf("COMPACT events → %q", resp)
+	}
+
+	resp = r.ask("COMPACT events format=json")
+	if !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("COMPACT format=json → %q", resp)
+	}
+	var stats []columnar.TableStats
+	if err := json.Unmarshal([]byte(resp[len("OK "):]), &stats); err != nil {
+		t.Fatalf("COMPACT json reply unparsable: %v in %q", err, resp)
+	}
+	if len(stats) != 1 || stats[0].Table != "events" || stats[0].SealedRows != 100 {
+		t.Fatalf("stats = %+v, want 100 sealed rows in events", stats)
+	}
+
+	// Bare COMPACT covers every table.
+	if resp := r.ask("COMPACT"); !strings.HasPrefix(resp, "OK tables=") {
+		t.Fatalf("COMPACT → %q", resp)
+	}
+	if resp := r.ask("COMPACT nosuch"); !strings.HasPrefix(resp, "ERR notable ") {
+		t.Fatalf("COMPACT nosuch → %q", resp)
+	}
+	if resp := r.ask("COMPACT events format=json extra"); !strings.HasPrefix(resp, "ERR badargs ") {
+		t.Fatalf("COMPACT with junk tail → %q", resp)
+	}
+
+	// COMPACT only reorganizes a rebuildable cache, so it must stay
+	// available on read-only followers.
+	if commands["COMPACT"].mutating {
+		t.Fatal("COMPACT is marked mutating; it would be refused on followers")
+	}
+}
+
+// TestCompactDisabled covers the engine knob: with columnar history
+// off, COMPACT reports a spec error instead of crashing.
+func TestCompactDisabled(t *testing.T) {
+	_, srv := startServer(t, core.Config{ColumnarDisabled: true}, Config{})
+	c := dial(t, srv)
+	if err := c.CreateTable(client.TableSpec{
+		Name:    "events",
+		Columns: []client.ColumnSpec{{Name: "id", Kind: "int", NotNull: true}},
+		Key:     []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := rawDial(t, srv)
+	if resp := r.ask("COMPACT events"); !strings.HasPrefix(resp, "ERR ") {
+		t.Fatalf("COMPACT with columnar disabled → %q", resp)
+	}
+}
+
+// TestStatsLatencyJSON checks the delivery-latency histogram exposed
+// by STATS format=json: absent traffic it reports n=0, and after
+// pushed deliveries it has observations with ordered percentiles. The
+// text form stays frozen without a latency field.
+func TestStatsLatencyJSON(t *testing.T) {
+	_, srv := startServer(t, core.Config{}, Config{})
+	c := dial(t, srv)
+
+	decode := func() map[string]json.RawMessage {
+		t.Helper()
+		raw, err := c.StatsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("stats json unparsable: %v in %s", err, raw)
+		}
+		return m
+	}
+
+	var lat struct {
+		N      int64 `json:"n"`
+		MeanUS int64 `json:"mean_us"`
+		P50US  int64 `json:"p50_us"`
+		P99US  int64 `json:"p99_us"`
+		P999US int64 `json:"p999_us"`
+		MaxUS  int64 `json:"max_us"`
+	}
+	m := decode()
+	if err := json.Unmarshal(m["latency"], &lat); err != nil {
+		t.Fatalf("latency field: %v in %s", err, m["latency"])
+	}
+	if lat.N != 0 {
+		t.Fatalf("latency.n = %d before any delivery", lat.N)
+	}
+
+	sub, err := c.Subscribe("a", "", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pubs = 8
+	for i := 0; i < pubs; i++ {
+		if _, err := c.Publish(event.New("tick", map[string]any{"i": i})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < pubs; i++ {
+		recv(t, sub)
+	}
+
+	m = decode()
+	if err := json.Unmarshal(m["latency"], &lat); err != nil {
+		t.Fatalf("latency field: %v in %s", err, m["latency"])
+	}
+	if lat.N != pubs {
+		t.Fatalf("latency.n = %d, want %d", lat.N, pubs)
+	}
+	// Percentiles are power-of-two bucket upper bounds, so they are
+	// ordered among themselves but may round above the exact max.
+	if lat.P50US > lat.P99US || lat.P99US > lat.P999US {
+		t.Fatalf("percentiles out of order: %+v", lat)
+	}
+	if lat.MaxUS <= 0 || lat.MeanUS <= 0 {
+		t.Fatalf("max/mean not observed: %+v", lat)
+	}
+
+	// Text STATS keeps its frozen field set — no latency key.
+	r := rawDial(t, srv)
+	if resp := r.ask("STATS"); strings.Contains(resp, "latency") {
+		t.Fatalf("text STATS grew a latency field: %q", resp)
+	}
+}

@@ -259,3 +259,51 @@ func handleUnwatch(c *conn, req *request) bool {
 	c.reply("OK")
 	return true
 }
+
+// handleCompact force-seals pending columnar history into segments and
+// reports per-table segment statistics. With no table argument every
+// tracked table compacts. It never mutates durable state (segments are
+// a rebuildable cache over the WAL), so it is available on followers.
+func handleCompact(c *conn, req *request) bool {
+	table := ""
+	format := ""
+	for _, f := range strings.Fields(req.tail) {
+		switch {
+		case f == "format=json":
+			format = "json"
+		case table == "":
+			table = f
+		default:
+			c.errf(codeBadArgs, "unexpected argument %q (usage: COMPACT [table] [format=json])", f)
+			return true
+		}
+	}
+	if table != "" {
+		if _, ok := c.srv.eng.DB.Table(table); !ok {
+			c.errf(codeNoTable, "no table %q", table)
+			return true
+		}
+	}
+	stats, err := c.srv.eng.Compact(table)
+	if err != nil {
+		c.errf(codeBadSpec, "%v", err)
+		return true
+	}
+	if format == "json" {
+		data, err := json.Marshal(stats)
+		if err != nil {
+			c.errf(codeInternal, "%v", err)
+			return true
+		}
+		c.reply("OK " + string(data))
+		return true
+	}
+	var segs, rows, bytes int
+	for _, s := range stats {
+		segs += s.Segments
+		rows += s.SealedRows
+		bytes += s.MemBytes
+	}
+	c.reply(fmt.Sprintf("OK tables=%d segments=%d rows=%d bytes=%d", len(stats), segs, rows, bytes))
+	return true
+}

@@ -144,6 +144,7 @@ import (
 	"eventdb/internal/core"
 	"eventdb/internal/event"
 	"eventdb/internal/frame"
+	"eventdb/internal/metrics"
 	"eventdb/internal/queue"
 )
 
@@ -515,6 +516,10 @@ type conn struct {
 	dropped    atomic.Uint64 // EVT pushes lost to DropOnFull
 	replCursor atomic.Uint64 // latest RACKed cursor from a REPLICATE peer
 
+	// lat tracks event-time → push delivery latency for this
+	// connection's sinks; surfaced by STATS format=json.
+	lat metrics.LatencyHistogram
+
 	mu       sync.Mutex
 	sinks    map[string]sink // local id → registered delivery sink
 	everSink bool            // a sink was registered at least once (locks HELLO)
@@ -659,6 +664,14 @@ func (c *conn) pushEvent(localID string, ev *event.Event) {
 	if err != nil {
 		c.srv.eng.Metrics.Counter("server.push.encode_errors").Inc()
 		return
+	}
+	// Delivery latency: event timestamp to push. Events carrying no
+	// timestamp, a future one, or one older than an hour (historical
+	// REPLAY backfill) would only distort the histogram.
+	if !ev.Time.IsZero() {
+		if d := time.Since(ev.Time); d >= 0 && d <= time.Hour {
+			c.lat.Observe(d)
+		}
 	}
 	c.push(c.evtWire(localID, data))
 }
