@@ -136,7 +136,8 @@ var knownCodes = map[string]bool{
 	"unknown": true, "badargs": true, "badjson": true, "badspec": true,
 	"toobig": true, "dup": true, "nosub": true, "noreceipt": true,
 	"noqueue": true, "notable": true, "notrig": true, "nowatch": true,
-	"conflict": true, "aborted": true, "notdurable": true,
+	"nopattern": true,
+	"conflict":  true, "aborted": true, "notdurable": true,
 	"limit": true, "internal": true, "readonly": true,
 }
 

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Smoke-tests the E22 harness at tiny scale: both arms must run, and
+// on the identical (truncated) stream they must complete the identical
+// number of matches — the cheap end-to-end echo of internal/cep's
+// differential test.
+func TestE22ArmsAgree(t *testing.T) {
+	const npat, ntypes = 50, 10
+	evs := e22Events(2000, npat, ntypes, rand.New(rand.NewSource(1)))
+	sOps, _, sMatches := e22Shared(npat, ntypes, evs)
+	iOps, _, iMatches := e22Independent(npat, ntypes, evs)
+	if sOps <= 0 || iOps <= 0 {
+		t.Fatalf("rates: shared=%f independent=%f", sOps, iOps)
+	}
+	if sMatches != iMatches {
+		t.Fatalf("match counts diverge: shared=%d independent=%d", sMatches, iMatches)
+	}
+	if sMatches == 0 {
+		t.Fatal("stream produced no matches; the harness is not exercising completion")
+	}
+}
+
+// BenchmarkE22SharedFeed keeps the shared-automaton feed path in the
+// CI benchmark-rot guard (one iteration per push).
+func BenchmarkE22SharedFeed(b *testing.B) {
+	const npat, ntypes = 1000, 100
+	evs := e22Events(4096, npat, ntypes, rand.New(rand.NewSource(2)))
+	for i := 0; i < b.N; i++ {
+		e22Shared(npat, ntypes, evs)
+	}
+}

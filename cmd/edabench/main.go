@@ -1,5 +1,5 @@
 // Command edabench regenerates the experiment tables in EXPERIMENTS.md:
-// one table per experiment E1–E21 from DESIGN.md, each checking a claim
+// one table per experiment E1–E22 from DESIGN.md, each checking a claim
 // of the tutorial. Run with -quick for smaller sweeps; -shards and
 // -batch pin the E13 pipeline sweep to one configuration; -subs sets
 // the E14 wire-subscriber count and -net points E14's streaming half
@@ -76,6 +76,7 @@ func main() {
 	e19()
 	e20()
 	e21()
+	e22()
 	writeJSON()
 }
 

@@ -125,6 +125,10 @@ func main() {
 		if err := eng.Broker.AttachStore(eng.DB, "wire_subs", eng.Queues, qcfg, nil); err != nil {
 			log.Fatal(err)
 		}
+		// PATTERN registrations persist alongside, in wire_patterns.
+		if err := eng.AttachPatternStore("wire_patterns"); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *dir != "" && *follow == "" {
 		attachDurableSubs()

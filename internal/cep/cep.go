@@ -227,6 +227,28 @@ func (m *Matcher) Dropped() uint64 { return m.dropped }
 // ActiveRuns reports current partial matches (diagnostics).
 func (m *Matcher) ActiveRuns() int { return len(m.runs) }
 
+// Advance expires partial runs whose WITHIN window has passed as of
+// now, returning how many were pruned. Feed performs the same sweep
+// with each event's time; Advance lets a clock do it on quiet streams
+// so dead runs don't pin their bound events until the next arrival.
+func (m *Matcher) Advance(now time.Time) int {
+	if m.p.Within <= 0 || len(m.runs) == 0 {
+		return 0
+	}
+	kept := m.runs[:0]
+	for _, r := range m.runs {
+		if now.Sub(r.start) <= m.p.Within {
+			kept = append(kept, r)
+		}
+	}
+	pruned := len(m.runs) - len(kept)
+	for i := len(kept); i < len(m.runs); i++ {
+		m.runs[i] = nil
+	}
+	m.runs = kept
+	return pruned
+}
+
 // Feed processes one event and returns matches completed by it.
 // Events must be fed in nondecreasing time order for WITHIN semantics.
 func (m *Matcher) Feed(ev *event.Event) []*Match {

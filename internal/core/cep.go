@@ -1,0 +1,479 @@
+// Engine-level pattern registry: the shared CEP automaton wired into
+// the ingest pipeline. Every evaluated event is observed by the
+// automaton; completed matches re-enter the engine as "cep.<pattern>"
+// composite events through the capture path, so subscriptions,
+// continuous queries, durable queues, and triggers all see them like
+// any other event.
+//
+// On a synchronous engine the automaton feeds inline on the ingesting
+// goroutine. On a sharded engine each worker hands its evaluated events
+// to a per-shard bounded queue and a single feeder goroutine merges
+// them — draining every queue, then sorting the sweep by (time, id) —
+// so the automaton sees one nondecreasing-time stream without the
+// shards contending on its lock. A clock goroutine advances the WITHIN
+// horizon on quiet streams so dead partial matches don't pin memory
+// until the next event happens to arrive.
+package core
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eventdb/internal/cep"
+	"eventdb/internal/event"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+)
+
+// Pattern registry errors, distinguished so the wire layer can answer
+// with its stable dup/nopattern codes.
+var (
+	ErrPatternExists = errors.New("core: pattern already registered")
+	ErrNoPattern     = errors.New("core: no such pattern")
+)
+
+const (
+	defaultCEPBuffer     = 4096
+	defaultCEPGCInterval = 500 * time.Millisecond
+)
+
+// PatternStats is a snapshot of the pattern registry's counters.
+type PatternStats struct {
+	Registered int    // registered patterns
+	Instances  int    // live partial matches
+	Matches    uint64 // composite events emitted
+	Pruned     uint64 // partials expired by the WITHIN horizon
+	Dropped    uint64 // partials evicted by the instance cap
+}
+
+// cepRegistry owns the shared automaton and its feed plumbing.
+type cepRegistry struct {
+	e *Engine
+
+	mu    sync.Mutex // guards nfa, specs, table, started
+	nfa   *cep.Shared
+	specs map[string][]byte
+	table string // persistence table; "" until AttachPatternStore
+
+	// active gates the per-event observe hook: the common case of an
+	// engine with no patterns costs one atomic load per event.
+	active  atomic.Int64
+	stopped atomic.Bool
+
+	// Sharded-feed plumbing (nil/unused on synchronous engines).
+	qs      []chan *event.Event
+	pending atomic.Int64
+	notify  chan struct{}
+
+	started    bool
+	quit       chan struct{}
+	wg         sync.WaitGroup
+	gcInterval time.Duration
+	now        func() time.Time // injectable for horizon-GC tests
+}
+
+func newCEPRegistry(e *Engine, cfg Config) *cepRegistry {
+	c := &cepRegistry{
+		e:          e,
+		nfa:        cep.NewShared(),
+		specs:      make(map[string][]byte),
+		gcInterval: cfg.CEPAdvanceInterval,
+		now:        time.Now,
+	}
+	if c.gcInterval <= 0 {
+		c.gcInterval = defaultCEPGCInterval
+	}
+	if cfg.CEPMaxInstances > 0 {
+		c.nfa.MaxInstances = cfg.CEPMaxInstances
+	}
+	if e.pipeline != nil {
+		buf := cfg.CEPBuffer
+		if buf <= 0 {
+			buf = defaultCEPBuffer
+		}
+		c.qs = make([]chan *event.Event, len(e.pipeline.shards))
+		for i := range c.qs {
+			c.qs[i] = make(chan *event.Event, buf)
+		}
+		c.notify = make(chan struct{}, 1)
+	}
+	return c
+}
+
+// ensureStarted launches the feeder and horizon-GC goroutines on first
+// registration, so engines that never use patterns never pay for them.
+// Caller holds c.mu.
+func (c *cepRegistry) ensureStarted() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.quit = make(chan struct{})
+	if c.qs != nil {
+		c.wg.Add(1)
+		go c.runFeeder()
+	}
+	c.wg.Add(1)
+	go c.runGC()
+}
+
+func (c *cepRegistry) close() {
+	c.stopped.Store(true)
+	c.mu.Lock()
+	started := c.started
+	c.started = false
+	c.mu.Unlock()
+	if started {
+		close(c.quit)
+		c.wg.Wait()
+	}
+}
+
+// cepObserve hands one evaluated event to the pattern automaton.
+// shardIdx is the evaluating pipeline shard, or -1 for the synchronous
+// and inline-capture paths. Composite "cep." events are not re-fed —
+// patterns over raw events only, so a pattern can never feed itself.
+func (e *Engine) cepObserve(shardIdx int, ev *event.Event) {
+	c := e.cep
+	if c.active.Load() == 0 || c.stopped.Load() {
+		return
+	}
+	if strings.HasPrefix(ev.Type, "cep.") {
+		return
+	}
+	if c.qs == nil {
+		c.feedInline(ev)
+		return
+	}
+	if shardIdx < 0 {
+		shardIdx = 0 // inline capture fallback on a sharded engine
+	}
+	c.pending.Add(1)
+	select {
+	case c.qs[shardIdx] <- ev:
+		select {
+		case c.notify <- struct{}{}:
+		default:
+		}
+	default:
+		// Never block an ingest worker on the pattern plane: a full
+		// feed queue drops the event for pattern purposes only.
+		c.pending.Add(-1)
+		e.Metrics.Counter("cep.feed.drops").Inc()
+	}
+}
+
+// feedInline runs the automaton on the caller's goroutine (synchronous
+// engines). Matches materialize into events under the lock — the
+// automaton reuses its match slice — and re-enter ingest after it is
+// released, so a match's own cascade can re-enter cepObserve safely.
+func (c *cepRegistry) feedInline(ev *event.Event) {
+	var outs []*event.Event
+	c.mu.Lock()
+	for _, m := range c.nfa.Feed(ev) {
+		outs = append(outs, m.Event())
+	}
+	c.mu.Unlock()
+	c.emit(outs)
+}
+
+func (c *cepRegistry) emit(outs []*event.Event) {
+	for _, out := range outs {
+		if err := c.e.ingestCapture(out); err != nil {
+			c.e.Metrics.Counter("ingest.errors").Inc()
+		}
+	}
+}
+
+// runFeeder is the sharded engines' single automaton feeder: woken by
+// observers, it sweeps every shard queue, merges the sweep into
+// nondecreasing (time, id) order, and feeds the batch under one lock
+// acquisition. Per-shard arrival order is preserved by the stable sort.
+// Cross-shard order is best-effort: the sort repairs skew between
+// events captured in the same sweep, but a shard whose worker lags a
+// sweep entirely delivers late — the same cross-key reordering the
+// sharded pipeline itself permits, absorbed by WITHIN windows.
+func (c *cepRegistry) runFeeder() {
+	defer c.wg.Done()
+	var batch []*event.Event
+	for {
+		select {
+		case <-c.notify:
+			batch = c.drainFeed(batch)
+		case <-c.quit:
+			// Final drain: events the closing pipeline evaluated after
+			// our last sweep still reach the automaton.
+			c.drainFeed(batch)
+			return
+		}
+	}
+}
+
+func (c *cepRegistry) drainFeed(batch []*event.Event) []*event.Event {
+	for {
+		batch = batch[:0]
+		for _, q := range c.qs {
+		queue:
+			for {
+				select {
+				case ev := <-q:
+					batch = append(batch, ev)
+				default:
+					break queue
+				}
+			}
+		}
+		if len(batch) == 0 {
+			return batch
+		}
+		slices.SortStableFunc(batch, func(a, b *event.Event) int {
+			if a.Time.Before(b.Time) {
+				return -1
+			}
+			if a.Time.After(b.Time) {
+				return 1
+			}
+			return cmp.Compare(a.ID, b.ID)
+		})
+		var outs []*event.Event
+		c.mu.Lock()
+		for _, ev := range batch {
+			for _, m := range c.nfa.Feed(ev) {
+				outs = append(outs, m.Event())
+			}
+		}
+		c.mu.Unlock()
+		c.emit(outs)
+		c.pending.Add(-int64(len(batch)))
+	}
+}
+
+// runGC advances the WITHIN horizon on the engine clock, pruning stale
+// partial matches between events.
+func (c *cepRegistry) runGC() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.gcInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+			c.e.AdvancePatternHorizon(c.now())
+		}
+	}
+}
+
+// RegisterPattern compiles a JSON pattern spec (see cep.ParseSpec) and
+// registers it in the shared automaton. The binding persists in the
+// pattern store when one is attached, surviving restarts. Returns
+// ErrPatternExists for duplicate names.
+func (e *Engine) RegisterPattern(name string, spec []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	p, err := cep.ParseSpec(name, spec)
+	if err != nil {
+		return err
+	}
+	c := e.cep
+	c.mu.Lock()
+	if _, dup := c.specs[name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrPatternExists, name)
+	}
+	if err := c.nfa.Add(p); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.specs[name] = append([]byte(nil), spec...)
+	c.active.Add(1)
+	c.ensureStarted()
+	table := c.table
+	c.mu.Unlock()
+	if table != "" {
+		if err := c.persist(name, spec); err != nil {
+			// Roll the in-memory registration back: a binding that
+			// claimed durability but would vanish on restart is worse
+			// than a clean failure.
+			c.mu.Lock()
+			c.nfa.Remove(name)
+			delete(c.specs, name)
+			c.active.Add(-1)
+			c.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// UnregisterPattern removes a registered pattern and its persisted
+// binding. Returns ErrNoPattern for unknown names.
+func (e *Engine) UnregisterPattern(name string) error {
+	c := e.cep
+	c.mu.Lock()
+	if _, ok := c.specs[name]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoPattern, name)
+	}
+	if err := c.nfa.Remove(name); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	delete(c.specs, name)
+	c.active.Add(-1)
+	table := c.table
+	c.mu.Unlock()
+	if table != "" {
+		return c.unpersist(name)
+	}
+	return nil
+}
+
+// Patterns returns the registered pattern names, sorted.
+func (e *Engine) Patterns() []string {
+	c := e.cep
+	c.mu.Lock()
+	names := make([]string, 0, len(c.specs))
+	for name := range c.specs {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// PatternSpec returns a registered pattern's JSON spec.
+func (e *Engine) PatternSpec(name string) ([]byte, bool) {
+	c := e.cep
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spec, ok := c.specs[name]
+	return spec, ok
+}
+
+// PatternStats snapshots the registry's counters (for STATS).
+func (e *Engine) PatternStats() PatternStats {
+	c := e.cep
+	c.mu.Lock()
+	st := c.nfa.Stats()
+	c.mu.Unlock()
+	return PatternStats{
+		Registered: st.Patterns,
+		Instances:  st.Instances,
+		Matches:    st.Matches,
+		Pruned:     st.Pruned,
+		Dropped:    st.Dropped,
+	}
+}
+
+// AdvancePatternHorizon prunes partial matches whose WITHIN window has
+// passed as of now, returning how many. The engine clock calls this on
+// a cadence (Config.CEPAdvanceInterval); tests call it directly with an
+// injected clock.
+func (e *Engine) AdvancePatternHorizon(now time.Time) int {
+	c := e.cep
+	c.mu.Lock()
+	n := c.nfa.Advance(now)
+	c.mu.Unlock()
+	return n
+}
+
+// FlushPatterns blocks until every event handed to the pattern feeder
+// so far has been fed through the automaton. Matches it emitted may
+// still be in the ingest pipeline; compose with Flush for end-to-end
+// settling. A no-op on synchronous engines, where feeding is inline.
+func (e *Engine) FlushPatterns() {
+	c := e.cep
+	wait := 50 * time.Microsecond
+	for c.pending.Load() > 0 {
+		time.Sleep(wait)
+		if wait < 5*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+// PatternsTableSchema returns the schema used to persist pattern
+// bindings: one row per pattern, the spec as it arrived on the wire.
+func PatternsTableSchema(table string) (*storage.Schema, error) {
+	return storage.NewSchema(table, []storage.Column{
+		{Name: "name", Kind: val.KindString, NotNull: true},
+		{Name: "spec", Kind: val.KindString, NotNull: true},
+	}, "name")
+}
+
+// AttachPatternStore persists pattern bindings in a database table
+// (expressions as data, like the broker's subscription store) and
+// reloads existing rows, re-registering each pattern. Reload skips
+// names already registered, so attach-after-register is safe.
+func (e *Engine) AttachPatternStore(table string) error {
+	if _, ok := e.DB.Table(table); !ok {
+		schema, err := PatternsTableSchema(table)
+		if err != nil {
+			return err
+		}
+		if err := e.DB.CreateTable(schema); err != nil {
+			return err
+		}
+	}
+	c := e.cep
+	tbl, _ := e.DB.Table(table)
+	var loadErr error
+	tbl.Scan(func(_ storage.RowID, r storage.Row) bool {
+		name, _ := r[0].AsString()
+		spec, _ := r[1].AsString()
+		c.mu.Lock()
+		if _, dup := c.specs[name]; dup {
+			c.mu.Unlock()
+			return true
+		}
+		p, err := cep.ParseSpec(name, []byte(spec))
+		if err == nil {
+			err = c.nfa.Add(p)
+		}
+		if err != nil {
+			loadErr = fmt.Errorf("core: pattern %q: %w", name, err)
+			c.mu.Unlock()
+			return false
+		}
+		c.specs[name] = []byte(spec)
+		c.active.Add(1)
+		c.ensureStarted()
+		c.mu.Unlock()
+		return true
+	})
+	if loadErr != nil {
+		return loadErr
+	}
+	c.mu.Lock()
+	c.table = table
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *cepRegistry) persist(name string, spec []byte) error {
+	_, err := c.e.DB.Insert(c.table, map[string]val.Value{
+		"name": val.String(name),
+		"spec": val.String(string(spec)),
+	})
+	return err
+}
+
+func (c *cepRegistry) unpersist(name string) error {
+	tbl, ok := c.e.DB.Table(c.table)
+	if !ok {
+		return nil
+	}
+	if _, rid, ok := tbl.GetByPK(val.String(name)); ok {
+		return c.e.DB.DeleteRow(c.table, rid)
+	}
+	return nil
+}

@@ -77,6 +77,17 @@ type Config struct {
 	// ColumnarSealInterval overrides the background sealer cadence
 	// (default 200ms).
 	ColumnarSealInterval time.Duration
+
+	// CEPBuffer is each shard's pattern-feed queue capacity on a
+	// sharded engine (default 4096). A full queue drops events for
+	// pattern purposes only, counted in cep.feed.drops.
+	CEPBuffer int
+	// CEPAdvanceInterval is the cadence of the clock that expires
+	// partial pattern matches on quiet streams (default 500ms).
+	CEPAdvanceInterval time.Duration
+	// CEPMaxInstances caps live partial pattern matches across all
+	// registered patterns (default 1<<20); oldest are dropped beyond it.
+	CEPMaxInstances int
 }
 
 // Engine is the assembled event-processing platform.
@@ -98,6 +109,8 @@ type Engine struct {
 
 	// pipeline is the async sharded front door (nil when Shards == 0).
 	pipeline *pipeline
+	// cep is the shared-automaton pattern registry (see cep.go).
+	cep *cepRegistry
 	// scratch pools (matcher, publisher) pairs for IngestBatch callers.
 	scratch sync.Pool
 
@@ -153,6 +166,7 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.Shards > 0 {
 		e.pipeline = newPipeline(e, cfg)
 	}
+	e.cep = newCEPRegistry(e, cfg)
 	// Trigger-captured events flow into the ingest path. The capture
 	// variant never blocks: a trigger can fire on a shard goroutine (a
 	// rule action writing to a captured table), where a blocking send
@@ -188,6 +202,10 @@ func (e *Engine) Close() error {
 	if e.pipeline != nil {
 		e.pipeline.close()
 	}
+	// The pattern feeder drains after the pipeline: events the closing
+	// shards evaluated still reach the automaton, and its final matches
+	// evaluate inline while triggers are still attached.
+	e.cep.close()
 	e.Triggers.Close()
 	e.Queues.Close()
 	if e.History != nil {
@@ -259,6 +277,7 @@ func (e *Engine) ingestSync(ev *event.Event) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	e.cepObserve(-1, ev)
 	e.Metrics.Counter("events.delivered").Add(uint64(n))
 	e.Metrics.Histogram("ingest.latency").Observe(time.Since(start))
 	return n, nil
@@ -333,6 +352,7 @@ func (e *Engine) ingestBatchSync(evs []*event.Event, stopOnError bool) error {
 			e.Metrics.Counter("ingest.errors").Inc()
 			continue
 		}
+		e.cepObserve(-1, ev)
 		delivered += uint64(n)
 	}
 	// One shared-counter update per batch, not per event — on a

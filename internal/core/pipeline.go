@@ -76,6 +76,7 @@ type pipeline struct {
 // shard is one worker: a bounded buffer, its drain goroutine, and its
 // operational metrics.
 type shard struct {
+	idx     int
 	ch      chan *event.Event
 	pending atomic.Int64 // accepted but not yet processed
 
@@ -96,6 +97,7 @@ func newPipeline(e *Engine, cfg Config) *pipeline {
 	p := &pipeline{eng: e, keyFn: keyFn, policy: cfg.Backpressure}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
+			idx:       i,
 			ch:        make(chan *event.Event, buf),
 			depth:     e.Metrics.Gauge(fmt.Sprintf("pipeline.shard%d.depth", i)),
 			drops:     e.Metrics.Counter(fmt.Sprintf("pipeline.shard%d.drops", i)),
@@ -192,6 +194,7 @@ func (p *pipeline) run(s *shard) {
 				p.eng.Metrics.Counter("ingest.errors").Inc()
 				continue
 			}
+			p.eng.cepObserve(s.idx, ev)
 			delivered += uint64(n)
 		}
 		// Amortize the shared counters across the micro-batch; pending

@@ -191,7 +191,7 @@ func backendError(w http.ResponseWriter, err error) {
 	switch serr.Code {
 	case "badargs", "badjson", "badspec", "unknown":
 		status = http.StatusBadRequest
-	case "notable", "noqueue", "nosub", "notrig", "nowatch", "noreceipt":
+	case "notable", "noqueue", "nosub", "notrig", "nowatch", "nopattern", "noreceipt":
 		status = http.StatusNotFound
 	case "dup", "conflict", "aborted":
 		status = http.StatusConflict

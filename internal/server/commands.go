@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"eventdb/internal/core"
 	"eventdb/internal/cq"
 	"eventdb/internal/event"
 	"eventdb/internal/metrics"
@@ -216,13 +217,23 @@ func handleStats(c *conn, req *request) bool {
 	}
 	c.mu.Unlock()
 	if format == "json" {
-		c.reply(fmt.Sprintf(`OK {"sent":%d,"dropped":%d,"queued":%d,"subs":%d,"cqs":%d,"qsubs":%d,"latency":%s}`,
-			c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs, latencyJSON(&c.lat)))
+		c.reply(fmt.Sprintf(`OK {"sent":%d,"dropped":%d,"queued":%d,"subs":%d,"cqs":%d,"qsubs":%d,"latency":%s,"patterns":%s}`,
+			c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs, latencyJSON(&c.lat),
+			patternsJSON(c.srv.eng.PatternStats())))
 		return true
 	}
 	c.reply(fmt.Sprintf("OK sent=%d dropped=%d queued=%d subs=%d cqs=%d qsubs=%d",
 		c.sent.Load(), c.dropped.Load(), len(c.out), subs, cqs, qsubs))
 	return true
+}
+
+// patternsJSON renders the engine's shared-automaton counters for the
+// json stats replies: registered patterns, live partial matches,
+// composite events emitted, partials pruned by the WITHIN horizon, and
+// partials evicted by the instance cap.
+func patternsJSON(st core.PatternStats) string {
+	return fmt.Sprintf(`{"registered":%d,"instances":%d,"matches":%d,"pruned":%d,"dropped":%d}`,
+		st.Registered, st.Instances, st.Matches, st.Pruned, st.Dropped)
 }
 
 // latencyJSON renders a delivery-latency histogram as a JSON object

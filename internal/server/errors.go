@@ -37,6 +37,8 @@ const (
 	codeNoTrigger = "notrig"
 	// codeNoWatch: no watched query with that name.
 	codeNoWatch = "nowatch"
+	// codeNoPattern: no registered pattern with that name.
+	codeNoPattern = "nopattern"
 	// codeConflict: the database rejected a change (constraint
 	// violation, stale receipt, missing row).
 	codeConflict = "conflict"

@@ -44,6 +44,9 @@ func FuzzReadLine(f *testing.F) {
 		"UPDATE t {\"where\":\"a = 1\",\"set\":{\"a\":2}}\nDELETE t {}\nSELECT {\"table\":\"t\"}\n",
 		"TRIG g {\"table\":\"t\",\"timing\":\"before\",\"veto\":\"no\"}\nUNTRIG g\n",
 		"WATCH w {\"query\":{\"table\":\"t\"},\"key\":[\"a\"]}\nUNWATCH w\n",
+		"PATTERN p {\"steps\":[{\"alias\":\"a\",\"type\":\"x\"},{\"alias\":\"b\",\"type\":\"y\",\"guard\":\"v = a.v\"}],\"within\":\"30s\"}\nUNPATTERN p\n",
+		"PATTERN p {\"steps\":[{\"alias\":\"a\",\"type\":\"x\",\"negated\":true}]}\nPATTERN p {\"steps\":\nPATTERN p\nUNPATTERN nope\n",
+		"PATTERN p {\"steps\":[{\"alias\":\"a\",\"type\":\"x\",\"guard\":\"(((\"}],\"within\":\"-5s\",\"strategy\":\"bogus\"}\n",
 		"REPLAY q 0\nQSTATS q\nSTATS\nMATCH {\"type\":\"t\"}\n",
 		"BOGUS with args\n\x00\xff\n  \n",
 		strings.Repeat("A", 70000) + "\n",

@@ -256,8 +256,9 @@ func handleQStats(c *conn, req *request) bool {
 	}
 	st := q.Stats()
 	if format == "json" {
-		c.reply(fmt.Sprintf(`OK {"ready":%d,"inflight":%d,"dead":%d,"outstanding":%d}`,
-			st.Ready, st.Inflight, st.Dead, c.outstanding(name)))
+		c.reply(fmt.Sprintf(`OK {"ready":%d,"inflight":%d,"dead":%d,"outstanding":%d,"patterns":%s}`,
+			st.Ready, st.Inflight, st.Dead, c.outstanding(name),
+			patternsJSON(c.srv.eng.PatternStats())))
 		return true
 	}
 	c.reply(fmt.Sprintf("OK ready=%d inflight=%d dead=%d outstanding=%d",

@@ -228,6 +228,8 @@ func TestReadOnlyFollowerGating(t *testing.T) {
 		"UNTRIG t1",
 		`WATCH w1 {"query":{"table":"trades"}}`,
 		"UNWATCH w1",
+		`PATTERN p1 {"steps":[{"alias":"a","type":"x"}]}`,
+		"UNPATTERN p1",
 	}
 	for _, cmd := range mutating {
 		rc.send(cmd)
