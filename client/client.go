@@ -138,7 +138,7 @@ var knownCodes = map[string]bool{
 	"noqueue": true, "notable": true, "notrig": true, "nowatch": true,
 	"nopattern": true,
 	"conflict":  true, "aborted": true, "notdurable": true,
-	"limit": true, "internal": true, "readonly": true,
+	"limit": true, "internal": true, "readonly": true, "degraded": true,
 }
 
 // serverError parses the payload of an "ERR " reply line. Replies from
@@ -154,10 +154,11 @@ func serverError(payload string) *Error {
 
 // Conn is a connection to an eventdb server. Safe for concurrent use.
 type Conn struct {
-	nc     net.Conn
-	binary bool // negotiated binary frame mode (HELLO 2)
-	parked bool // server granted the park flag
-	subBuf int  // default subscription channel buffer (WithSubBuffer)
+	nc      net.Conn
+	binary  bool // negotiated binary frame mode (HELLO 2)
+	parked  bool // server granted the park flag
+	lowprio bool // server granted the lowprio (sheddable) flag
+	subBuf  int  // default subscription channel buffer (WithSubBuffer)
 
 	sendMu  sync.Mutex       // serializes request writes with waiter order
 	tr      transport        // guarded by sendMu for sends; recv is readLoop-only
@@ -191,6 +192,7 @@ type dialConfig struct {
 	netDial       func(addr string) (net.Conn, error)
 	binary        bool
 	park          bool
+	lowprio       bool
 	subBuffer     int
 }
 
@@ -226,6 +228,15 @@ func WithBinary() Option {
 // connection costs the server.
 func WithPark() Option {
 	return func(d *dialConfig) { d.park = true }
+}
+
+// WithLowPriority declares this connection's publishes sheddable: while
+// the server is over an overload watermark they are refused with the
+// coded "limit" error instead of blocking, so high-priority producers
+// keep their throughput. Implies the HELLO handshake (like WithPark);
+// servers that predate the flag silently ignore it.
+func WithLowPriority() Option {
+	return func(d *dialConfig) { d.lowprio = true }
 }
 
 // WithSubBuffer sets the default channel buffer used when Subscribe,
@@ -295,12 +306,12 @@ func newConn(nc net.Conn, cfg *dialConfig) (*Conn, error) {
 	// Mode negotiation happens synchronously, before the read loop owns
 	// the socket: one HELLO round trip, only when an option asked for
 	// something the legacy protocol lacks.
-	if cfg.binary || cfg.park {
-		binary, park, err := negotiate(nc, br, w, cfg.park)
+	if cfg.binary || cfg.park || cfg.lowprio {
+		binary, park, lowprio, err := negotiate(nc, br, w, cfg.park, cfg.lowprio)
 		if err != nil {
 			return nil, err
 		}
-		c.binary, c.parked = binary, park
+		c.binary, c.parked, c.lowprio = binary, park, lowprio
 	}
 	if c.binary {
 		c.tr = &binTransport{w: w, fr: frame.NewReader(br)}
@@ -319,12 +330,21 @@ func (c *Conn) Binary() bool { return c.binary }
 // Parked reports whether the server granted the WithPark flag.
 func (c *Conn) Parked() bool { return c.parked }
 
+// LowPriority reports whether the server granted the WithLowPriority
+// flag (publishes may be shed with "ERR limit" under overload).
+func (c *Conn) LowPriority() bool { return c.lowprio }
+
 // Close tears the connection down. Subscription channels close; blocked
 // calls fail with ErrClosed.
 func (c *Conn) Close() error {
 	c.fail(ErrClosed)
 	return nil
 }
+
+// Done returns a channel closed when the connection dies (socket
+// failure or Close). After it closes, Err reports the cause. It is the
+// reconnect trigger for supervisors like WithRetry.
+func (c *Conn) Done() <-chan struct{} { return c.done }
 
 // Err reports why the connection died (nil while it is alive).
 func (c *Conn) Err() error {
@@ -490,6 +510,62 @@ func (c *Conn) Promote() (string, error) {
 	return c.call("PROMOTE")
 }
 
+// Health is the server's operational snapshot, the parsed form of
+// "HEALTH format=json" (PROTOCOL.md §9). Load balancers and
+// supervisors branch on Role and Degraded; the rest is diagnostics.
+type Health struct {
+	Role           string `json:"role"`
+	Degraded       bool   `json:"degraded"`
+	DegradedCause  string `json:"degraded_cause"`
+	Overloaded     bool   `json:"overloaded"`
+	OverloadReason string `json:"overload_reason"`
+	Durable        bool   `json:"durable"`
+	Conns          int    `json:"conns"`
+	SlowConsumers  int    `json:"slow_consumers"`
+	Evicted        uint64 `json:"evicted"`
+	Shed           uint64 `json:"shed"`
+	Panics         uint64 `json:"panics"`
+	LastApplied    uint64 `json:"last_applied"`
+	NextLSN        uint64 `json:"next_lsn"`
+	WALLag         uint64 `json:"wal_lag"`
+	QueueDepths    []int  `json:"queue_depths"`
+	QueueCap       int    `json:"queue_cap"`
+	Ingested       uint64 `json:"ingested"`
+	Dropped        uint64 `json:"dropped"`
+}
+
+// Health fetches and parses the server's health snapshot.
+func (c *Conn) Health() (Health, error) {
+	body, err := c.HealthJSON()
+	if err != nil {
+		return Health{}, err
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return Health{}, fmt.Errorf("client: bad HEALTH reply: %w", err)
+	}
+	return h, nil
+}
+
+// HealthJSON fetches the health snapshot as the server's raw JSON —
+// suitable for forwarding (the gateway's /readyz does exactly that).
+func (c *Conn) HealthJSON() ([]byte, error) {
+	resp, err := c.call("HEALTH format=json")
+	if err != nil {
+		return nil, err
+	}
+	return []byte(resp), nil
+}
+
+// Recover asks a degraded server to re-verify its WAL tail and resume
+// mutations (the operator path out of fail-stop). On a healthy server
+// it is a no-op; while the device still refuses writes it returns the
+// coded "degraded" error with the cause.
+func (c *Conn) Recover() error {
+	_, err := c.call("RECOVER")
+	return err
+}
+
 // Ping round-trips a liveness check.
 func (c *Conn) Ping() error {
 	resp, err := c.call("PING")
@@ -540,6 +616,36 @@ func (c *Conn) PublishRaw(data []byte) (int, error) {
 		return 0, fmt.Errorf("client: bad PUB reply %q", resp)
 	}
 	return n, nil
+}
+
+// PublishT publishes one event under an idempotency token: a session
+// name (any token without spaces) and a strictly increasing sequence
+// number within it. A republish of an already-ingested sequence — the
+// ambiguous-outcome case after a connection died mid-reply — answers
+// dup=true instead of duplicating the event. This is the primitive
+// Retry's Publish builds on; the session ledger lives on the server
+// and survives reconnects.
+func (c *Conn) PublishT(session string, seq uint64, ev *Event) (delivered int, dup bool, err error) {
+	if strings.ContainsAny(session, " \r\n") || session == "" {
+		return 0, false, fmt.Errorf("client: bad session token %q", session)
+	}
+	data, err := event.MarshalJSONEvent(ev)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := c.call(fmt.Sprintf("PUBT %s %d %s", session, seq, data))
+	if err != nil {
+		return 0, false, err
+	}
+	fields := strings.Fields(resp)
+	if len(fields) == 0 {
+		return 0, false, fmt.Errorf("client: bad PUBT reply %q", resp)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, false, fmt.Errorf("client: bad PUBT reply %q", resp)
+	}
+	return n, len(fields) > 1 && fields[1] == "dup", nil
 }
 
 // maxBatch mirrors the server's PUBB cap; larger batches are split

@@ -8,6 +8,8 @@
 //	         [-visibility d] [-queue-max-attempts n] [-queue-prefetch n]
 //	         [-watch-interval d] [-rule name=condition]...
 //	         [-follow leader-addr] [-rack-every n] [-promote-after d]
+//	         [-drain-timeout d] [-evict-after-drops n]
+//	         [-shed-high-water f] [-shed-memory-bytes n]
 //
 // Foreign systems speak the streaming line protocol documented in
 // internal/server: they publish JSON events (PUB, and PUBB for
@@ -52,6 +54,18 @@
 // durable queue subscriptions re-attach. -rack-every tunes how often
 // the follower reports its cursor back to the leader. -follow requires
 // -dir: replication is WAL shipping, so both ends must be durable.
+//
+// The self-protection plane: a write or fsync failure fail-stops the
+// storage layer into degraded read-only mode (mutating verbs answer
+// "ERR degraded" until an operator RECOVER); HEALTH — and the
+// gateway's /healthz and /readyz — report role, degraded state, WAL
+// lag, and queue depths for load balancers. -shed-high-water and
+// -shed-memory-bytes arm overload shedding: past either watermark,
+// publishers that negotiated the lowprio HELLO flag get "ERR limit"
+// while normal traffic proceeds. -evict-after-drops disconnects a
+// slow consumer after that many consecutive dropped pushes (requires
+// -drop-on-full), and -drain-timeout bounds how long shutdown waits
+// for each connection's outbound queue to flush.
 package main
 
 import (
@@ -99,11 +113,18 @@ func main() {
 	follow := flag.String("follow", "", "run as a read-only follower replicating from this leader address (requires -dir)")
 	rackEvery := flag.Int("rack-every", 64, "follower: acknowledge the replication cursor every n records")
 	promoteAfter := flag.Duration("promote-after", 0, "follower: self-promote to leader after this much leader silence (0 = manual PROMOTE only)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Second, "bound on flushing each connection's outbound queue at shutdown")
+	evictAfterDrops := flag.Int("evict-after-drops", 0, "disconnect a consumer after this many consecutive dropped pushes under -drop-on-full (0 = never)")
+	shedHighWater := flag.Float64("shed-high-water", 0, "shard queue fill fraction (0..1] past which low-priority publishers are shed (0 = off)")
+	shedMemoryBytes := flag.Uint64("shed-memory-bytes", 0, "heap bytes past which low-priority publishers are shed (0 = off)")
 	var ruleDefs ruleFlags
 	flag.Var(&ruleDefs, "rule", "rule as name=condition (repeatable); matches are logged")
 	flag.Parse()
 
-	cfg := core.Config{Dir: *dir, Shards: *shards, ShardBuffer: *shardBuffer}
+	cfg := core.Config{
+		Dir: *dir, Shards: *shards, ShardBuffer: *shardBuffer,
+		ShedHighWater: *shedHighWater, ShedMemoryBytes: *shedMemoryBytes,
+	}
 	if *dropOnFull {
 		cfg.Backpressure = core.DropOnFull
 	}
@@ -153,14 +174,16 @@ func main() {
 	}
 
 	srvCfg := server.Config{
-		MaxConns:      *maxConns,
-		SubBuffer:     *subBuffer,
-		ReadTimeout:   *readTimeout,
-		WriteTimeout:  *writeTimeout,
-		ParkAfter:     *parkAfter,
-		Queue:         qcfg,
-		QueuePrefetch: *queuePrefetch,
-		WatchInterval: *watchInterval,
+		MaxConns:        *maxConns,
+		SubBuffer:       *subBuffer,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		ParkAfter:       *parkAfter,
+		Queue:           qcfg,
+		QueuePrefetch:   *queuePrefetch,
+		WatchInterval:   *watchInterval,
+		DrainTimeout:    *drainTimeout,
+		EvictAfterDrops: *evictAfterDrops,
 	}
 	if *dropOnFull {
 		srvCfg.Overflow = server.DropOnFull

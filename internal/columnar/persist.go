@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,7 +12,18 @@ import (
 
 	"eventdb/internal/storage"
 	"eventdb/internal/val"
+	"eventdb/internal/vfs"
 )
+
+// readFile is os.ReadFile through a vfs.FS.
+func readFile(fsys vfs.FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
 
 // Segment files make restart cheap: instead of re-mining the whole
 // WAL into pending rows and re-sealing, Attach reloads sealed history
@@ -199,25 +211,26 @@ func (m *Manager) persistSegment(seg *Segment) error {
 	}
 	final := filepath.Join(m.cfg.Dir, segFileName(seg.table, seg.firstLSN))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	fsys := m.cfg.FS
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, final)
+	return fsys.Rename(tmp, final)
 }
 
 // loadSegments reloads persisted segments at attach time. Invalid
@@ -225,10 +238,11 @@ func (m *Manager) persistSegment(seg *Segment) error {
 // breaking per-table LSN/ID contiguity are deleted; their rows come
 // back through the WAL bootstrap instead.
 func (m *Manager) loadSegments() error {
-	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
+	fsys := m.cfg.FS
+	if err := fsys.MkdirAll(m.cfg.Dir, 0o755); err != nil {
 		return err
 	}
-	entries, err := os.ReadDir(m.cfg.Dir)
+	entries, err := fsys.ReadDir(m.cfg.Dir)
 	if err != nil {
 		return err
 	}
@@ -242,7 +256,7 @@ func (m *Manager) loadSegments() error {
 		if firstErr == nil && err != nil {
 			firstErr = err
 		}
-		os.Remove(path)
+		fsys.Remove(path)
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -255,7 +269,7 @@ func (m *Manager) loadSegments() error {
 			drop(path, nil)
 			continue
 		}
-		data, err := os.ReadFile(path)
+		data, err := readFile(fsys, path)
 		if err != nil {
 			drop(path, err)
 			continue

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eventdb/internal/storage"
+	"eventdb/internal/vfs"
 	"eventdb/internal/wal"
 )
 
@@ -24,6 +25,11 @@ type Config struct {
 	// fail validation (partial write, CRC mismatch, schema drift) are
 	// discarded and rebuilt from the WAL.
 	Dir string
+	// FS is the filesystem segment files are written through. Nil means
+	// the real one. Segment files are a rebuildable cache of the WAL,
+	// so an injected fault here surfaces as a persist error, not as
+	// engine degradation.
+	FS vfs.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -36,6 +42,7 @@ func (c Config) withDefaults() Config {
 	if c.SealInterval <= 0 {
 		c.SealInterval = 200 * time.Millisecond
 	}
+	c.FS = vfs.Default(c.FS)
 	return c
 }
 

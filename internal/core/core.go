@@ -28,6 +28,7 @@ import (
 	"eventdb/internal/security"
 	"eventdb/internal/storage"
 	"eventdb/internal/trigger"
+	"eventdb/internal/vfs"
 )
 
 // Config configures Open.
@@ -43,6 +44,22 @@ type Config struct {
 	// AuditTable, when non-empty, records engine operations to an audit
 	// trail table of this name.
 	AuditTable string
+	// FS is the filesystem every durability path (WAL, columnar
+	// segments) writes through. Nil means the real one; tests inject
+	// vfs.Faulty to drive disk-failure scenarios.
+	FS vfs.FS
+
+	// ShedHighWater arms queue-depth overload shedding on a sharded
+	// engine: when aggregate shard occupancy exceeds this fraction of
+	// total capacity (0 < f <= 1), Overloaded reports true and the
+	// server sheds low-priority publishers with an error instead of
+	// blocking them. 0 disables.
+	ShedHighWater float64
+	// ShedMemoryBytes arms memory overload shedding: when the Go heap
+	// in use exceeds this many bytes, Overloaded reports true. The heap
+	// probe is cached for ~250ms so checking is cheap on the hot path.
+	// 0 disables.
+	ShedMemoryBytes uint64
 
 	// Shards enables the asynchronous sharded ingest pipeline: events
 	// are hash-partitioned by shard key across this many workers, each
@@ -117,22 +134,30 @@ type Engine struct {
 	// watches is the scheduled watched-query registry (see watch.go).
 	watchMu sync.Mutex
 	watches map[string]*watchEntry
+
+	// Overload watermarks (see health.go).
+	shedHighWater float64
+	shedMemBytes  uint64
+	memCheckedAt  atomic.Int64  // unix nanos of the last heap probe
+	memHeapInUse  atomic.Uint64 // cached heap-in-use from that probe
 }
 
 // Open assembles an engine.
 func Open(cfg Config) (*Engine, error) {
-	db, err := storage.Open(storage.Options{Dir: cfg.Dir, SyncEvery: cfg.SyncEvery})
+	db, err := storage.Open(storage.Options{Dir: cfg.Dir, SyncEvery: cfg.SyncEvery, FS: cfg.FS})
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		DB:      db,
-		Queues:  queue.NewManager(db),
-		Miner:   journal.NewMiner(db),
-		Broker:  pubsub.NewBroker(),
-		Rules:   rules.NewEngine(rules.Options{Indexed: true}),
-		Metrics: metrics.NewRegistry(),
-		Guard:   security.NewGuard(),
+		shedHighWater: cfg.ShedHighWater,
+		shedMemBytes:  cfg.ShedMemoryBytes,
+		DB:            db,
+		Queues:        queue.NewManager(db),
+		Miner:         journal.NewMiner(db),
+		Broker:        pubsub.NewBroker(),
+		Rules:         rules.NewEngine(rules.Options{Indexed: true}),
+		Metrics:       metrics.NewRegistry(),
+		Guard:         security.NewGuard(),
 	}
 	if !cfg.Secure {
 		e.Guard.DefaultAllow = true
@@ -149,6 +174,7 @@ func Open(cfg Config) (*Engine, error) {
 		ccfg := columnar.Config{
 			SealRows:     cfg.ColumnarSealRows,
 			SealInterval: cfg.ColumnarSealInterval,
+			FS:           cfg.FS,
 		}
 		if cfg.Dir != "" {
 			ccfg.Dir = filepath.Join(cfg.Dir, "segments")

@@ -176,6 +176,9 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(AppendFrameString(nil, Cmd, "PING"))
 	f.Add(AppendFrameString(nil, Cmd, `PATTERN p {"steps":[{"alias":"a","type":"x"}],"within":"30s"}`))
 	f.Add(AppendFrameString(nil, Cmd, "UNPATTERN p"))
+	f.Add(AppendFrameString(nil, Cmd, "HEALTH format=json"))
+	f.Add(AppendFrameString(nil, Cmd, "RECOVER"))
+	f.Add(AppendFrameString(nil, Cmd, `PUBT s1 7 {"type":"t","attrs":{"a":1}}`))
 	f.Add(AppendEvt(nil, "s1", []byte(`{"a":1}`)))
 	f.Add(AppendQEvt(nil, "q", "h9", 2, []byte(`{"b":2}`)))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})

@@ -13,9 +13,13 @@
 //	GET  /v1/qstats?queue=<name> → queue stats JSON
 //	GET  /v1/sub?id=<id>&filter=<expr> → WebSocket: event JSON per message
 //	GET  /healthz    → liveness + backend reachability (no auth)
+//	GET  /readyz     → readiness for traffic (no auth): 200 only when
+//	                   the backend is reachable, a writable leader, and
+//	                   not degraded; 503 otherwise, with the backend's
+//	                   health snapshot as the body either way
 //
-// Every endpoint except /healthz requires "Authorization: Bearer
-// <token>" when Config.Tokens is non-empty.
+// Every endpoint except /healthz and /readyz requires "Authorization:
+// Bearer <token>" when Config.Tokens is non-empty.
 package gateway
 
 import (
@@ -84,6 +88,7 @@ func New(cfg Config) *Gateway {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/readyz", g.handleReadyz)
 	mux.HandleFunc("/v1/pub", g.auth(g.handlePub))
 	mux.HandleFunc("/v1/select", g.auth(g.handleSelect))
 	mux.HandleFunc("/v1/stats", g.auth(g.handleStats))
@@ -201,6 +206,10 @@ func backendError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case "readonly":
 		status = http.StatusForbidden
+	case "degraded":
+		// The storage layer fail-stopped; the node serves reads but
+		// refuses writes until an operator RECOVER. Retryable elsewhere.
+		status = http.StatusServiceUnavailable
 	case "notdurable":
 		status = http.StatusPreconditionFailed
 	case "internal":
@@ -225,6 +234,36 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		backend = "down"
 	}
 	writeJSON(w, http.StatusOK, []byte(fmt.Sprintf(`{"ok":true,"backend":%q}`, backend)))
+}
+
+// handleReadyz is the load-balancer readiness probe: 200 only when the
+// backend answers HEALTH, is a writable leader, and is not degraded —
+// i.e. this gateway can usefully take writes right now. Everything
+// else is 503 so traffic drains to a healthy peer. Unlike /healthz
+// (liveness: "the process is up"), readiness flips during failover and
+// degraded mode by design. The body is the backend's health snapshot
+// so operators see *why* from the probe itself.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	c, err := g.conn()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "backend unavailable: "+err.Error())
+		return
+	}
+	body, err := c.HealthJSON()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "backend health: "+err.Error())
+		return
+	}
+	var h client.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "bad health snapshot: "+err.Error())
+		return
+	}
+	status := http.StatusOK
+	if h.Role != "leader" || h.Degraded {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 // handlePub accepts one event object or an array of events.

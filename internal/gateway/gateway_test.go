@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,9 @@ import (
 
 	"eventdb/internal/core"
 	"eventdb/internal/server"
+	"eventdb/internal/storage"
+	"eventdb/internal/val"
+	"eventdb/internal/vfs"
 	"eventdb/internal/ws"
 )
 
@@ -238,4 +242,85 @@ func TestWebSocketBadFilter(t *testing.T) {
 func escape(s string) string {
 	r := strings.NewReplacer(" ", "%20", ">", "%3E", "!", "%21")
 	return r.Replace(s)
+}
+
+// TestReadyz drives the readiness probe through its three answers: 200
+// on a healthy writable leader, 503 while the storage layer is
+// degraded, and 503 on a read-only follower — with the backend's
+// health snapshot as the body every time.
+func TestReadyz(t *testing.T) {
+	fsys := vfs.NewFaulty(nil)
+	eng, err := core.Open(core.Config{Dir: t.TempDir(), SyncEvery: 1, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv, err := server.StartConfig(eng, "127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	gw := New(Config{Backend: srv.Addr()})
+	t.Cleanup(func() { gw.Close() })
+	hs := httptest.NewServer(gw)
+	t.Cleanup(hs.Close)
+
+	ready := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("readyz body: %v", err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := ready(); code != http.StatusOK || body["role"] != "leader" {
+		t.Fatalf("healthy leader: %d %v", code, body)
+	}
+
+	// Fail-stop the storage layer: readiness must flip to 503 while
+	// liveness (/healthz) stays 200 — the process is up, just not ready.
+	fsys.FailSyncsAfter(0, errors.New("injected EIO"))
+	schema, err := storage.NewSchema("probe", []storage.Column{
+		{Name: "id", Kind: val.KindInt, NotNull: true},
+	}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.DB.CreateTable(schema); err == nil {
+		t.Fatal("create table on broken device unexpectedly succeeded")
+	}
+	if deg, _ := eng.Degraded(); !deg {
+		t.Fatal("engine not degraded")
+	}
+	if code, body := ready(); code != http.StatusServiceUnavailable || body["degraded"] != true {
+		t.Fatalf("degraded: %d %v", code, body)
+	}
+	r, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during degraded: %d, want 200 (liveness, not readiness)", r.StatusCode)
+	}
+
+	fsys.Heal()
+	if err := eng.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if code, _ := ready(); code != http.StatusOK {
+		t.Fatalf("after recover: %d", code)
+	}
+
+	// A follower is alive but not ready for writes either.
+	eng.SetReadOnly(true)
+	if code, body := ready(); code != http.StatusServiceUnavailable || body["role"] != "follower" {
+		t.Fatalf("follower: %d %v", code, body)
+	}
 }

@@ -55,9 +55,17 @@ type cmdSpec struct {
 	usage string
 	// mutating marks verbs that change durable or queue state; they are
 	// refused with "ERR readonly" while the node is a replication
-	// follower. Ephemeral reads (SELECT, SUB, MATCH, CQ, REPLAY) stay
-	// available on followers.
+	// follower, and with "ERR degraded" after the storage layer
+	// fail-stopped. Ephemeral reads (SELECT, SUB, MATCH, CQ, REPLAY)
+	// stay available in both states.
 	mutating bool
+	// sheds marks ingest verbs that may be refused with "ERR limit" for
+	// a low-priority connection (HELLO flag "lowprio") while an overload
+	// watermark is exceeded — load shedding before blocking backpressure
+	// turns into collapse. Only set on verbs whose whole request is on
+	// the command line; body-consuming verbs (PUBB) shed inside their
+	// handler after the bodies are consumed, so framing survives.
+	sheds bool
 	// handle runs the command.
 	handle handler
 }
@@ -118,8 +126,9 @@ func init() {
 
 	// Publish/match: the message-store front door. Publishing mutates
 	// (rule actions, queue staging); MATCH is evaluation only.
-	register("PUB", cmdSpec{tail: requiredTail, usage: "PUB <json-event>", mutating: true, handle: handlePub})
+	register("PUB", cmdSpec{tail: requiredTail, usage: "PUB <json-event>", mutating: true, sheds: true, handle: handlePub})
 	register("PUBB", cmdSpec{tail: requiredTail, usage: "PUBB <n>", mutating: true, handle: handlePubBatch})
+	register("PUBT", cmdSpec{args: 2, tail: requiredTail, usage: "PUBT <session> <seq> <json-event>", mutating: true, sheds: true, handle: handlePubT})
 	register("MATCH", cmdSpec{tail: requiredTail, usage: "MATCH <json-event>", handle: handleMatch})
 
 	// Ephemeral push sinks.
@@ -156,6 +165,12 @@ func init() {
 	register("RACK", cmdSpec{args: 1, usage: "RACK <cursor>", handle: handleRack})
 	register("PROMOTE", cmdSpec{usage: "PROMOTE", handle: handlePromote})
 	register("ROLE", cmdSpec{usage: "ROLE", handle: handleRole})
+
+	// Health plane (healthcmds.go). Neither verb is mutating: HEALTH is
+	// a read, and RECOVER must be reachable exactly when mutations are
+	// refused.
+	register("HEALTH", cmdSpec{tail: optionalTail, usage: "HEALTH [format=json]", handle: handleHealth})
+	register("RECOVER", cmdSpec{usage: "RECOVER", handle: handleRecover})
 }
 
 // dispatch parses and runs one command line. The only framing decision
@@ -172,8 +187,17 @@ func dispatch(c *conn, line string) bool {
 		c.errf(codeBadArgs, "%s (usage: %s)", problem, spec.usage)
 		return true
 	}
-	if spec.mutating && c.srv.eng.ReadOnly() {
-		c.errf(codeReadonly, "%s refused: this node is a read-only follower (PROMOTE to enable writes)", strings.ToUpper(verb))
+	if spec.mutating {
+		if c.srv.eng.ReadOnly() {
+			c.errf(codeReadonly, "%s refused: this node is a read-only follower (PROMOTE to enable writes)", strings.ToUpper(verb))
+			return true
+		}
+		if deg, cause := c.srv.eng.Degraded(); deg {
+			c.errf(codeDegraded, "%s refused: storage fail-stopped (%s); RECOVER to resume", strings.ToUpper(verb), cause)
+			return true
+		}
+	}
+	if spec.sheds && c.lowprio && shed(c, strings.ToUpper(verb)) {
 		return true
 	}
 	return spec.handle(c, req)

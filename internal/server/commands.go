@@ -79,6 +79,11 @@ func handlePubBatch(c *conn, req *request) bool {
 		c.errf(codeBadJSON, "%v", firstErr)
 		return true
 	}
+	// Shed here rather than in dispatch: the n bodies had to be consumed
+	// first or the line framing would be lost.
+	if c.lowprio && shed(c, "PUBB") {
+		return true
+	}
 	if err := c.srv.eng.IngestBatch(evs); err != nil {
 		c.errf(codeInternal, "%v", err)
 		return true

@@ -25,12 +25,14 @@ import (
 
 // dmlFail maps a commit-path error to its wire code: a BEFORE-trigger
 // veto is "aborted", spec-shaped problems are "badspec", a missing
-// table is "notable", anything else the database refused is
-// "conflict".
+// table is "notable", a fail-stopped storage layer is "degraded",
+// anything else the database refused is "conflict".
 func dmlFail(c *conn, err error) {
 	switch {
 	case errors.Is(err, storage.ErrAborted):
 		c.errf(codeAborted, "%v", err)
+	case errors.Is(err, storage.ErrDegraded):
+		c.errf(codeDegraded, "%v", err)
 	case errors.Is(err, wiredb.ErrSpec):
 		c.errf(codeBadSpec, "%v", err)
 	case errors.Is(err, wiredb.ErrNoTable):

@@ -51,6 +51,10 @@ const (
 	// codeReadonly: the node is a replication follower; mutating verbs
 	// are refused until it is promoted to leader.
 	codeReadonly = "readonly"
+	// codeDegraded: the storage layer fail-stopped after a write or
+	// fsync failure; mutating verbs are refused until an operator
+	// RECOVER succeeds. Reads and subscriptions keep serving.
+	codeDegraded = "degraded"
 	// codeInternal: an engine-side failure not attributable to the
 	// request.
 	codeInternal = "internal"

@@ -48,6 +48,9 @@ func FuzzReadLine(f *testing.F) {
 		"PATTERN p {\"steps\":[{\"alias\":\"a\",\"type\":\"x\",\"negated\":true}]}\nPATTERN p {\"steps\":\nPATTERN p\nUNPATTERN nope\n",
 		"PATTERN p {\"steps\":[{\"alias\":\"a\",\"type\":\"x\",\"guard\":\"(((\"}],\"within\":\"-5s\",\"strategy\":\"bogus\"}\n",
 		"REPLAY q 0\nQSTATS q\nSTATS\nMATCH {\"type\":\"t\"}\n",
+		"HEALTH\nHEALTH format=json\nHEALTH format=xml\nRECOVER\n",
+		"PUBT s1 1 {\"type\":\"t\",\"attrs\":{\"a\":1}}\nPUBT s1 1 {\"type\":\"t\",\"attrs\":{\"a\":1}}\nPUBT s1 0 {}\nPUBT s1 x {}\nPUBT\n",
+		"HELLO 1 lowprio\nPUB {\"type\":\"t\",\"attrs\":{}}\nHELLO 1 park,lowprio,bogus\n",
 		"BOGUS with args\n\x00\xff\n  \n",
 		strings.Repeat("A", 70000) + "\n",
 	}

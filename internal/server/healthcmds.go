@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"eventdb/internal/core"
+	"eventdb/internal/event"
+)
+
+// Handlers for the health plane: operator and load-balancer visibility
+// (HEALTH), the degraded-mode exit (RECOVER), and idempotent publish
+// (PUBT) for retrying clients.
+//
+//	HEALTH [format=json] → one-line operational snapshot (role, degraded
+//	                       flag, overload state, WAL positions, queue
+//	                       depths, slow-consumer counts)
+//	RECOVER              → "OK"; re-verifies the WAL tail and resumes
+//	                       mutations after a fail-stop. No-op when healthy.
+//	PUBT <session> <seq> <json-event>
+//	                     → "OK <deliveries>", or "OK 0 dup" when <seq>
+//	                       was already ingested for <session> — the
+//	                       server-side half of exactly-once republish
+//	                       across client reconnects.
+
+// maxPubTSessions bounds the publish-session dedupe map so clients
+// cannot grow server memory without bound by inventing session tokens.
+const maxPubTSessions = 4096
+
+// shed refuses one ingest request from a low-priority connection while
+// an overload watermark is exceeded. It replies (ERR limit) and reports
+// true when the request was shed.
+func shed(c *conn, verb string) bool {
+	over, reason := c.srv.eng.Overloaded()
+	if !over {
+		return false
+	}
+	c.srv.eng.Metrics.Counter("server.shed").Inc()
+	c.errf(codeLimit, "%s shed: %s (low-priority ingest refused under overload)", verb, reason)
+	return true
+}
+
+// healthSnapshot layers the server-level view (role, connection and
+// slow-consumer counts, isolation counters) over the engine's health
+// struct. One struct so the text and JSON renderings cannot drift.
+type healthSnapshot struct {
+	core.Health
+	role    string
+	conns   int
+	slow    int // live connections that have dropped pushes
+	evicted uint64
+	shed    uint64
+	panics  uint64
+}
+
+func (s *Server) healthSnapshot() healthSnapshot {
+	h := healthSnapshot{Health: s.eng.Health(), role: "leader"}
+	if s.eng.ReadOnly() {
+		h.role = "follower"
+	}
+	s.mu.Lock()
+	h.conns = len(s.conns)
+	for c := range s.conns {
+		if c.dropped.Load() > 0 {
+			h.slow++
+		}
+	}
+	s.mu.Unlock()
+	h.evicted = s.eng.Metrics.Counter("server.evicted").Value()
+	h.shed = s.eng.Metrics.Counter("server.shed").Value()
+	h.panics = s.eng.Metrics.Counter("server.panics").Value()
+	return h
+}
+
+// walLag is how many logged LSNs are not yet covered by LastApplied —
+// nonzero only in the torn window a fail-stop preserves for RECOVER.
+func (h *healthSnapshot) walLag() uint64 {
+	if h.NextLSN == 0 || h.NextLSN-1 <= h.LastApplied {
+		return 0
+	}
+	return h.NextLSN - 1 - h.LastApplied
+}
+
+func b01(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+// handleHealth reports the node's operational state. The text field
+// order — role, degraded, overloaded, durable, conns, slow, evicted,
+// shed, panics, last_applied, next_lsn, wal_lag, queued, qcap — is part
+// of the wire contract (PROTOCOL.md §9); format=json returns the same
+// fields plus the human-readable degraded cause and overload reason.
+func handleHealth(c *conn, req *request) bool {
+	format, ok := statsFormat(c, req.tail)
+	if !ok {
+		return true
+	}
+	h := c.srv.healthSnapshot()
+	depth := 0
+	for _, d := range h.QueueDepths {
+		depth += d
+	}
+	if format == "json" {
+		depths := make([]string, len(h.QueueDepths))
+		for i, d := range h.QueueDepths {
+			depths[i] = strconv.Itoa(d)
+		}
+		c.reply(fmt.Sprintf(`OK {"role":%q,"degraded":%v,"degraded_cause":%q,"overloaded":%v,"overload_reason":%q,`+
+			`"durable":%v,"conns":%d,"slow_consumers":%d,"evicted":%d,"shed":%d,"panics":%d,`+
+			`"last_applied":%d,"next_lsn":%d,"wal_lag":%d,"queue_depths":[%s],"queue_cap":%d,"ingested":%d,"dropped":%d}`,
+			h.role, h.Degraded, h.DegradedCause, h.Overloaded, h.OverloadReason,
+			h.Durable, h.conns, h.slow, h.evicted, h.shed, h.panics,
+			h.LastApplied, h.NextLSN, h.walLag(), strings.Join(depths, ","), h.QueueCap, h.Ingested, h.Dropped))
+		return true
+	}
+	c.reply(fmt.Sprintf("OK role=%s degraded=%s overloaded=%s durable=%s conns=%d slow=%d evicted=%d shed=%d panics=%d last_applied=%d next_lsn=%d wal_lag=%d queued=%d qcap=%d",
+		h.role, b01(h.Degraded), b01(h.Overloaded), b01(h.Durable), h.conns, h.slow,
+		h.evicted, h.shed, h.panics, h.LastApplied, h.NextLSN, h.walLag(), depth, h.QueueCap))
+	return true
+}
+
+// handleRecover exits degraded mode: the engine re-verifies the WAL
+// tail (truncating bytes never acknowledged), fsyncs to prove the
+// device writes again, and resumes mutations. While the device still
+// refuses writes the node stays degraded and the error says why.
+// Healthy nodes answer OK without touching the log, so operators can
+// fire RECOVER blind.
+func handleRecover(c *conn, _ *request) bool {
+	if err := c.srv.eng.Recover(); err != nil {
+		c.errf(codeDegraded, "recover failed, still degraded: %v", err)
+		return true
+	}
+	c.reply("OK")
+	return true
+}
+
+// handlePubT is PUB with an idempotency token: the client names a
+// session and a strictly increasing sequence number, and a retry of an
+// already-ingested sequence answers "OK 0 dup" instead of publishing
+// twice. The sequence is recorded only after a successful ingest, so a
+// failed attempt stays retryable.
+func handlePubT(c *conn, req *request) bool {
+	session := req.args[0]
+	seq, err := strconv.ParseUint(req.args[1], 10, 64)
+	if err != nil || seq == 0 {
+		c.errf(codeBadArgs, "PUBT needs a sequence >= 1, got %q", req.args[1])
+		return true
+	}
+	s := c.srv
+	s.pubtMu.Lock()
+	last, known := s.pubtSeqs[session]
+	if !known && len(s.pubtSeqs) >= maxPubTSessions {
+		s.pubtMu.Unlock()
+		c.errf(codeLimit, "too many publish sessions (max %d)", maxPubTSessions)
+		return true
+	}
+	s.pubtMu.Unlock()
+	if known && seq <= last {
+		c.reply("OK 0 dup")
+		return true
+	}
+	ev, err := event.UnmarshalJSONEvent([]byte(req.tail))
+	if err != nil {
+		c.errf(codeBadJSON, "%v", err)
+		return true
+	}
+	delivered, err := s.eng.IngestCount(ev)
+	if err != nil {
+		c.errf(codeInternal, "%v", err)
+		return true
+	}
+	s.pubtMu.Lock()
+	if cur, ok := s.pubtSeqs[session]; !ok || seq > cur {
+		s.pubtSeqs[session] = seq
+	}
+	s.pubtMu.Unlock()
+	c.reply(fmt.Sprintf("OK %d", delivered))
+	return true
+}

@@ -23,10 +23,14 @@ import (
 //
 // Flags:
 //
-//	park — the server may release this connection's reader goroutine
-//	       to a shared epoll poller while it idles. Granted only where
-//	       parking is supported (linux, real TCP socket); silently
-//	       dropped elsewhere, so clients treat the echo as the truth.
+//	park    — the server may release this connection's reader goroutine
+//	          to a shared epoll poller while it idles. Granted only where
+//	          parking is supported (linux, real TCP socket); silently
+//	          dropped elsewhere, so clients treat the echo as the truth.
+//	lowprio — the connection volunteers as sheddable: while an overload
+//	          watermark is exceeded its publishes are refused with
+//	          "ERR limit" instead of blocking, protecting high-priority
+//	          producers and the engine itself. Always granted.
 
 func handleHello(c *conn, req *request) bool {
 	ver, err := strconv.Atoi(req.args[0])
@@ -45,11 +49,17 @@ func handleHello(c *conn, req *request) bool {
 		ver = protocolVersion
 	}
 	var granted []string
-	park := false
+	park, lowprio := false, false
 	for _, flag := range strings.Split(req.tail, ",") {
-		if strings.TrimSpace(flag) == "park" && c.parkable() {
-			park = true
-			granted = append(granted, "park")
+		switch strings.TrimSpace(flag) {
+		case "park":
+			if c.parkable() {
+				park = true
+				granted = append(granted, "park")
+			}
+		case "lowprio":
+			lowprio = true
+			granted = append(granted, "lowprio")
 		}
 	}
 	line := "OK " + strconv.Itoa(ver)
@@ -61,6 +71,7 @@ func handleHello(c *conn, req *request) bool {
 	// race the flip (no sink exists, and replies are reader-driven).
 	c.reply(line)
 	c.parkOK = park
+	c.lowprio = lowprio
 	c.binary = ver >= 2
 	if c.binary && c.fr == nil {
 		c.fr = newFrameReader(c)
@@ -70,10 +81,18 @@ func handleHello(c *conn, req *request) bool {
 
 // handlePubFrame is the binary publish fast path: the frame payload is
 // the JSON event itself — no verb, no line scan. Semantics match PUB
-// exactly, including the readonly gate dispatch would have applied.
+// exactly, including the readonly/degraded/shed gates dispatch would
+// have applied.
 func handlePubFrame(c *conn, payload []byte) {
 	if c.srv.eng.ReadOnly() {
 		c.errf(codeReadonly, "PUB refused: this node is a read-only follower (PROMOTE to enable writes)")
+		return
+	}
+	if deg, cause := c.srv.eng.Degraded(); deg {
+		c.errf(codeDegraded, "PUB refused: storage fail-stopped (%s); RECOVER to resume", cause)
+		return
+	}
+	if c.lowprio && shed(c, "PUB") {
 		return
 	}
 	// UnmarshalJSONEvent copies everything out of payload, so reusing

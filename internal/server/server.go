@@ -134,8 +134,10 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -195,8 +197,19 @@ type Config struct {
 	// half-open or wedged client cannot pin a writer goroutine forever —
 	// the write fails, the socket closes, and the connection tears
 	// down. 0 disables it (teardown still bounds the final drain with
-	// drainTimeout).
+	// DrainTimeout).
 	WriteTimeout time.Duration
+	// DrainTimeout bounds how long a closing connection's final flush
+	// may spend on the socket (default 2s) — and therefore how long a
+	// stuck consumer can hold Server.Close. Surfaced as eventdbd's
+	// -drain-timeout flag.
+	DrainTimeout time.Duration
+	// EvictAfterDrops evicts a connection once this many consecutive
+	// pushed events were dropped under the DropOnFull policy with no
+	// successful enqueue in between — a consumer that stopped draining
+	// for good, not one having a bad moment. The eviction closes only
+	// that connection (counted in server.evicted). 0 disables eviction.
+	EvictAfterDrops int
 	// ParkAfter is how long a connection that negotiated the "park"
 	// flag must stay idle before its reader goroutine is released to
 	// the shared poller (default 100ms). Only meaningful where parking
@@ -231,9 +244,10 @@ const (
 	// maxBatch caps PUBB so a client cannot make the server buffer an
 	// unbounded batch.
 	maxBatch = 65536
-	// drainTimeout bounds how long a closing connection's writer may
-	// spend flushing its remaining queued lines.
-	drainTimeout = 2 * time.Second
+	// defaultDrainTimeout bounds how long a closing connection's writer
+	// may spend flushing its remaining queued lines when
+	// Config.DrainTimeout is unset.
+	defaultDrainTimeout = 2 * time.Second
 	// protocolVersion is the highest wire version this server speaks:
 	// 1 = text lines, 2 = binary frames (PROTOCOL.md).
 	protocolVersion = 2
@@ -252,6 +266,12 @@ type Server struct {
 	done   chan struct{} // closed by Close; wakes backoff waits
 
 	nextConn atomic.Uint64
+
+	// pubtSeqs is the PUBT idempotency ledger: highest ingested sequence
+	// per publish session, shared across connections so a client can
+	// republish after a reconnect without duplication.
+	pubtMu   sync.Mutex
+	pubtSeqs map[string]uint64
 }
 
 // Start listens on addr ("127.0.0.1:0" picks a free port) with default
@@ -269,6 +289,14 @@ func StartConfig(eng *core.Engine, addr string, cfg Config) (*Server, error) {
 	return serve(eng, ln, cfg), nil
 }
 
+// ServeListener runs a server over an already-bound listener, so
+// harnesses (internal/testnet's chaos tests, embedders with their own
+// socket setup) can interpose fault-injecting wrappers between the
+// accept loop and the wire.
+func ServeListener(eng *core.Engine, ln net.Listener, cfg Config) *Server {
+	return serve(eng, ln, cfg)
+}
+
 // serve runs a server over an already-bound listener (separated from
 // StartConfig so tests can inject failing listeners).
 func serve(eng *core.Engine, ln net.Listener, cfg Config) *Server {
@@ -281,12 +309,16 @@ func serve(eng *core.Engine, ln net.Listener, cfg Config) *Server {
 	if cfg.ParkAfter <= 0 {
 		cfg.ParkAfter = defaultParkAfter
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = defaultDrainTimeout
+	}
 	s := &Server{
-		eng:   eng,
-		cfg:   cfg,
-		ln:    ln,
-		conns: make(map[*conn]struct{}),
-		done:  make(chan struct{}),
+		eng:      eng,
+		cfg:      cfg,
+		ln:       ln,
+		conns:    make(map[*conn]struct{}),
+		done:     make(chan struct{}),
+		pubtSeqs: make(map[string]uint64),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -494,13 +526,14 @@ type conn struct {
 	free chan []byte   // recycled line buffers
 	stop chan struct{} // closed at teardown; unblocks producers
 
-	// binary and parkOK are written only by the reader goroutine while
-	// handling HELLO, which is refused once any sink exists — so every
-	// concurrent producer (broker callbacks, queue consumers, repl
-	// streams) is registered strictly after the flip and observes it
-	// through its own registration's synchronization.
-	binary bool
-	parkOK bool
+	// binary, parkOK, and lowprio are written only by the reader
+	// goroutine while handling HELLO, which is refused once any sink
+	// exists — so every concurrent producer (broker callbacks, queue
+	// consumers, repl streams) is registered strictly after the flip and
+	// observes it through its own registration's synchronization.
+	binary  bool
+	parkOK  bool
+	lowprio bool // sheddable under overload (HELLO flag "lowprio")
 
 	wstate atomic.Int32 // wIdle/wRunning/wClosed burst ownership
 	bw     *bufio.Writer
@@ -515,6 +548,12 @@ type conn struct {
 	sent       atomic.Uint64 // wire writes completed (lines or frames)
 	dropped    atomic.Uint64 // EVT pushes lost to DropOnFull
 	replCursor atomic.Uint64 // latest RACKed cursor from a REPLICATE peer
+
+	// consecDrops counts pushes dropped since the last successful
+	// enqueue; at Config.EvictAfterDrops the connection is evicted. Both
+	// are touched by concurrent producers, hence atomic.
+	consecDrops atomic.Uint64
+	evicted     atomic.Bool
 
 	// lat tracks event-time → push delivery latency for this
 	// connection's sinks; surfaced by STATS format=json.
@@ -609,11 +648,21 @@ func (c *conn) push(m outMsg) {
 	if c.srv.cfg.Overflow == DropOnFull {
 		select {
 		case c.out <- m:
+			if c.srv.cfg.EvictAfterDrops > 0 {
+				c.consecDrops.Store(0)
+			}
 			c.wakeWriter()
 		default:
 			c.recycle(m.b)
 			c.dropped.Add(1)
 			c.srv.eng.Metrics.Counter("server.push.dropped").Inc()
+			// Sustained overflow with no drain in between is a consumer
+			// that went away without hanging up; cut it loose so its
+			// queue, buffers, and subscriptions stop costing the engine.
+			// The == keeps racing producers from evicting twice.
+			if ea := c.srv.cfg.EvictAfterDrops; ea > 0 && c.consecDrops.Add(1) == uint64(ea) {
+				c.evict()
+			}
 		}
 		return
 	}
@@ -777,13 +826,7 @@ func (c *conn) readLoop() {
 		c.br = bufio.NewReaderSize(c.nc, 1<<16)
 	}
 	for {
-		var s step
-		if c.binary {
-			s = c.binaryStep()
-		} else {
-			s = c.textStep()
-		}
-		switch s {
+		switch c.safeStep() {
 		case stepPark:
 			if c.tryPark() {
 				return // the poller now owns wake-up; no teardown
@@ -793,6 +836,27 @@ func (c *conn) readLoop() {
 			return
 		}
 	}
+}
+
+// safeStep runs one read-loop step — a command in the negotiated wire
+// mode — with panic isolation: a panicking handler is a bug in one
+// request, not grounds to kill the process and every other connection.
+// The panic is logged with its stack, counted (server.panics, surfaced
+// by HEALTH), and converted into a close of this connection alone; the
+// deferred teardown releases its sinks and queued deliveries like any
+// other disconnect.
+func (c *conn) safeStep() (s step) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.eng.Metrics.Counter("server.panics").Inc()
+			log.Printf("server: conn %d: panic in command handler: %v\n%s", c.id, r, debug.Stack())
+			s = stepClose
+		}
+	}()
+	if c.binary {
+		return c.binaryStep()
+	}
+	return c.textStep()
 }
 
 // armIdle sets the read deadline for waiting on a new command: the
@@ -964,6 +1028,45 @@ func (c *conn) interrupt() {
 	c.nc.Close()
 }
 
+// evict force-closes one slow consumer from a producer goroutine
+// (the push path, under sustained DropOnFull overflow). A live reader
+// is woken by closing the socket and tears down itself, exactly like
+// interrupt; a parked reader has nobody to do that, so teardown runs
+// on a tracked goroutine. When Server.Close already owns the
+// connection (closing is set, or goGo refuses) eviction stands down —
+// the close path tears everything down anyway.
+func (c *conn) evict() {
+	if !c.evicted.CompareAndSwap(false, true) {
+		return
+	}
+	c.srv.eng.Metrics.Counter("server.evicted").Inc()
+	c.pmu.Lock()
+	if c.closing {
+		c.pmu.Unlock()
+		return
+	}
+	c.closing = true
+	wasParked := c.parked
+	c.parked = false
+	dead := c.readerDead
+	if wasParked || dead {
+		// goGo under pmu follows the unpark path's established pmu→s.mu
+		// order. If it refuses, the server is closing: marking the
+		// reader dead (still under pmu) guarantees the Close interrupt
+		// pass — which runs after closed=true — spawns the teardown.
+		if !c.srv.goGo(c.teardown) {
+			c.readerDead = true
+		}
+		c.pmu.Unlock()
+		if wasParked {
+			forgetParked(c)
+		}
+		return
+	}
+	c.pmu.Unlock()
+	c.nc.Close()
+}
+
 // unpark revives a parked connection when the poller sees readable
 // bytes (or EOF). Spurious wakes are fine: the revived reader just
 // finds nothing and parks again.
@@ -995,7 +1098,7 @@ func (c *conn) teardown() {
 	c.pmu.Unlock()
 	// Bound all remaining socket writes first, so a consumer that went
 	// away without reading cannot stall the drain below.
-	c.nc.SetWriteDeadline(time.Now().Add(drainTimeout))
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.DrainTimeout))
 	c.mu.Lock()
 	sinks := make([]sink, 0, len(c.sinks))
 	for _, s := range c.sinks {

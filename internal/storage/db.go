@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"eventdb/internal/vfs"
 	"eventdb/internal/wal"
 )
 
@@ -71,6 +72,9 @@ type Options struct {
 	SyncEvery int
 	// SegmentBytes is passed to the WAL.
 	SegmentBytes int64
+	// FS is the filesystem the WAL writes through. Nil means the real
+	// one; tests inject vfs.Faulty to exercise disk-failure paths.
+	FS vfs.FS
 }
 
 // DB is the embedded database engine.
@@ -100,6 +104,17 @@ type DB struct {
 	// replication apply path bypasses it: ApplyReplicated is the one
 	// writer a read-only database accepts.
 	readonly atomic.Bool
+
+	// Fail-stop state: the first WAL append/sync error marks the
+	// database degraded and every mutation path (including replication
+	// apply) refuses with ErrDegraded until Recover re-verifies the WAL
+	// tail. lastApplied tracks the highest LSN that was both logged and
+	// applied to table state — the truncation horizon Recover hands to
+	// wal.RecoverTail; nothing at or below it is ever discarded.
+	degraded      atomic.Bool
+	degradedMu    sync.Mutex // guards degradedCause and serializes Recover
+	degradedCause error
+	lastApplied   atomic.Uint64
 }
 
 type beforeEntry struct {
@@ -122,7 +137,7 @@ func Open(opts Options) (*DB, error) {
 	if opts.Dir == "" {
 		return db, nil
 	}
-	w, err := wal.Open(wal.Options{Dir: opts.Dir, SyncEvery: opts.SyncEvery, SegmentBytes: opts.SegmentBytes})
+	w, err := wal.Open(wal.Options{Dir: opts.Dir, SyncEvery: opts.SyncEvery, SegmentBytes: opts.SegmentBytes, FS: opts.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +152,7 @@ func Open(opts Options) (*DB, error) {
 // recover replays the WAL into empty in-memory state.
 func (db *DB) recover() error {
 	return db.log.Replay(0, func(r wal.Record) error {
+		db.lastApplied.Store(r.LSN)
 		switch r.Type {
 		case recCommit:
 			_, changes, err := decodeCommit(r.Data)
@@ -217,10 +233,18 @@ func (db *DB) Close() error {
 	return nil
 }
 
-// Sync forces WAL durability up to the last commit.
+// Sync forces WAL durability up to the last commit. A sync failure
+// fail-stops the database into degraded mode like any append failure.
 func (db *DB) Sync() error {
-	if db.log != nil {
-		return db.log.Sync()
+	if db.log == nil {
+		return nil
+	}
+	if db.degraded.Load() {
+		return db.degradedError()
+	}
+	if err := db.log.Sync(); err != nil {
+		db.failStop(err)
+		return db.degradedError()
 	}
 	return nil
 }
@@ -240,6 +264,92 @@ func (db *DB) SetReadOnly(ro bool) { db.readonly.Store(ro) }
 
 // ReadOnly reports whether the database is in follower mode.
 func (db *DB) ReadOnly() bool { return db.readonly.Load() }
+
+// ErrDegraded is returned for mutations attempted after a WAL write or
+// fsync failure fail-stopped the database. Reads keep working; Recover
+// re-verifies the log tail and resumes mutations.
+var ErrDegraded = errors.New("storage: database is degraded (WAL write failure)")
+
+// failStop marks the database degraded: the on-disk state of the log is
+// unknown, so rather than risk silently diverging from it, every
+// subsequent mutation is refused until Recover re-verifies the tail.
+// The first cause wins; later failures while already degraded are noise.
+func (db *DB) failStop(cause error) {
+	db.degradedMu.Lock()
+	if db.degradedCause == nil {
+		db.degradedCause = cause
+		db.degraded.Store(true)
+	}
+	db.degradedMu.Unlock()
+}
+
+// degradedError returns ErrDegraded wrapped around the original cause.
+func (db *DB) degradedError() error {
+	db.degradedMu.Lock()
+	cause := db.degradedCause
+	db.degradedMu.Unlock()
+	if cause == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrDegraded, cause)
+}
+
+// Degraded reports whether the database is fail-stopped, and the
+// failure that put it there.
+func (db *DB) Degraded() (bool, string) {
+	if !db.degraded.Load() {
+		return false, ""
+	}
+	db.degradedMu.Lock()
+	cause := db.degradedCause
+	db.degradedMu.Unlock()
+	if cause == nil {
+		return false, ""
+	}
+	return true, cause.Error()
+}
+
+// LastApplied returns the highest WAL LSN that was logged and applied
+// to table state (0 for a volatile database).
+func (db *DB) LastApplied() uint64 { return db.lastApplied.Load() }
+
+// noteApplied advances the applied horizon to lsn (monotonic; appends
+// from the commit and DDL paths can race on the store order).
+func (db *DB) noteApplied(lsn uint64) {
+	for {
+		cur := db.lastApplied.Load()
+		if lsn <= cur || db.lastApplied.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// Recover exits degraded mode: it re-verifies the WAL tail, truncating
+// any bytes past the last applied record (nothing there was ever
+// acknowledged), fsyncs the surviving prefix, and resumes mutations.
+// If the device still refuses writes the database stays degraded and
+// the error is returned. A non-degraded database returns nil.
+func (db *DB) Recover() error {
+	// Exclude in-flight commits and DDL while the log is torn down and
+	// reopened (same order as commitLocked: commitMu, then db.mu).
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.degradedMu.Lock()
+	defer db.degradedMu.Unlock()
+	if db.degradedCause == nil {
+		return nil
+	}
+	if db.log != nil {
+		if err := db.log.RecoverTail(db.lastApplied.Load()); err != nil {
+			return fmt.Errorf("storage: recover: %w", err)
+		}
+	}
+	db.degradedCause = nil
+	db.degraded.Store(false)
+	return nil
+}
 
 // ApplyReplicated re-logs and applies one leader WAL record on a
 // follower. The record is appended verbatim so the follower's LSN
@@ -261,13 +371,18 @@ func (db *DB) ApplyReplicated(r wal.Record) error {
 func (db *DB) applyReplicatedLocked(r wal.Record) error {
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
+	if db.degraded.Load() {
+		return db.degradedError()
+	}
 	lsn, err := db.log.Append(r.Type, r.Data)
 	if err != nil {
+		db.failStop(err)
 		return fmt.Errorf("storage: replicated append: %w", err)
 	}
 	if lsn != r.LSN {
 		return fmt.Errorf("storage: replica diverged: leader record lsn=%d landed at local lsn=%d", r.LSN, lsn)
 	}
+	db.noteApplied(lsn)
 	switch r.Type {
 	case recCommit:
 		_, changes, err := decodeCommit(r.Data)
@@ -325,9 +440,15 @@ func (db *DB) CreateTable(s *Schema) error {
 		return fmt.Errorf("%w: table %q", ErrExists, s.Name)
 	}
 	if db.log != nil {
-		if _, err := db.log.Append(recCreateTable, encodeSchema(nil, s)); err != nil {
-			return err
+		if db.degraded.Load() {
+			return db.degradedError()
 		}
+		lsn, err := db.log.Append(recCreateTable, encodeSchema(nil, s))
+		if err != nil {
+			db.failStop(err)
+			return db.degradedError()
+		}
+		db.noteApplied(lsn)
 	}
 	db.tables[s.Name] = newTable(s)
 	return nil
@@ -345,9 +466,15 @@ func (db *DB) CreateIndex(table, name string, cols []string, kind IndexKind, uni
 		return fmt.Errorf("storage: no table %q", table)
 	}
 	if db.log != nil {
-		if _, err := db.log.Append(recCreateIndex, encodeIndexDef(nil, table, name, kind, unique, cols)); err != nil {
-			return err
+		if db.degraded.Load() {
+			return db.degradedError()
 		}
+		lsn, err := db.log.Append(recCreateIndex, encodeIndexDef(nil, table, name, kind, unique, cols))
+		if err != nil {
+			db.failStop(err)
+			return db.degradedError()
+		}
+		db.noteApplied(lsn)
 	}
 	return t.buildIndex(name, kind, unique, cols)
 }
@@ -494,6 +621,9 @@ func (db *DB) commitLocked(ops []txnOp) (*CommitInfo, error) {
 	if db.readonly.Load() {
 		return nil, ErrReadOnly
 	}
+	if db.degraded.Load() {
+		return nil, db.degradedError()
+	}
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 
@@ -570,13 +700,22 @@ func (db *DB) commitLocked(ops []txnOp) (*CommitInfo, error) {
 
 	info := &CommitInfo{Changes: changes}
 	if db.log != nil {
+		if db.degraded.Load() {
+			unlock()
+			return nil, db.degradedError()
+		}
 		seq := db.seq.Load() + 1
 		lsn, err := db.log.Append(recCommit, encodeCommit(nil, seq, changes))
 		if err != nil {
 			unlock()
-			return nil, fmt.Errorf("storage: wal append: %w", err)
+			// The log's on-disk state is now unknown: fail-stop. The
+			// change was never applied to table state and the caller
+			// sees an error, so nothing acknowledged is at risk.
+			db.failStop(err)
+			return nil, db.degradedError()
 		}
 		info.LSN = lsn
+		db.noteApplied(lsn)
 	}
 
 	for i := range changes {

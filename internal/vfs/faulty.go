@@ -1,0 +1,167 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+)
+
+// Faulty wraps an FS and injects failures on a script: writes begin
+// failing (with an optional short write) once a global byte offset is
+// reached, fsyncs fail after a countdown, and writes can be slowed to
+// simulate saturated disks. All knobs are safe to flip concurrently
+// with IO, and Heal clears every armed fault so recovery paths can be
+// exercised in the same process.
+//
+// The write offset is global across all files opened through this FS:
+// tests arm a fault at BytesWritten()+delta to tear a record at an
+// exact byte boundary regardless of how the writer batches.
+type Faulty struct {
+	inner FS
+
+	mu        sync.Mutex
+	written   int64 // bytes successfully written through this FS
+	syncs     int64 // sync attempts through this FS
+	writeTrip int64 // global offset at which writes start failing; -1 disarmed
+	writeErr  error
+	syncTrip  int64 // sync attempts allowed before failing; -1 disarmed
+	syncErr   error
+	latency   time.Duration
+}
+
+// NewFaulty wraps inner (nil means the real filesystem) with no faults
+// armed.
+func NewFaulty(inner FS) *Faulty {
+	return &Faulty{inner: Default(inner), writeTrip: -1, syncTrip: -1}
+}
+
+// FailWritesAt arms a write fault: the write that would carry the
+// global byte stream past offset is cut short at exactly that boundary
+// and returns err; every later write fails outright. Pass the current
+// BytesWritten() to fail the very next byte.
+func (f *Faulty) FailWritesAt(offset int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeTrip = offset
+	f.writeErr = err
+}
+
+// FailSyncsAfter arms a sync fault: the next n Sync calls succeed and
+// every one after that returns err. n=0 fails the next sync.
+func (f *Faulty) FailSyncsAfter(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncTrip = f.syncs + int64(n)
+	f.syncErr = err
+}
+
+// SetWriteLatency delays every write by d, simulating a saturated or
+// throttled device.
+func (f *Faulty) SetWriteLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// Heal disarms every fault; subsequent IO goes straight through. The
+// byte/sync counters are preserved.
+func (f *Faulty) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeTrip = -1
+	f.writeErr = nil
+	f.syncTrip = -1
+	f.syncErr = nil
+	f.latency = 0
+}
+
+// BytesWritten reports the total bytes successfully written through
+// this FS since creation.
+func (f *Faulty) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Syncs reports the number of Sync attempts through this FS.
+func (f *Faulty) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: inner, fs: f}, nil
+}
+
+func (f *Faulty) Open(name string) (File, error) {
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: inner, fs: f}, nil
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *Faulty) Remove(name string) error                     { return f.inner.Remove(name) }
+func (f *Faulty) Rename(oldpath, newpath string) error         { return f.inner.Rename(oldpath, newpath) }
+func (f *Faulty) ReadDir(name string) ([]fs.DirEntry, error)   { return f.inner.ReadDir(name) }
+func (f *Faulty) Stat(name string) (fs.FileInfo, error)        { return f.inner.Stat(name) }
+func (f *Faulty) Truncate(name string, size int64) error       { return f.inner.Truncate(name, size) }
+
+type faultyFile struct {
+	File
+	fs *Faulty
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	delay := ff.fs.latency
+	allow := len(p)
+	var armed error
+	if ff.fs.writeTrip >= 0 {
+		budget := ff.fs.writeTrip - ff.fs.written
+		if budget < int64(len(p)) {
+			armed = ff.fs.writeErr
+			if budget < 0 {
+				budget = 0
+			}
+			allow = int(budget)
+		}
+	}
+	ff.fs.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	var n int
+	var err error
+	if allow > 0 {
+		n, err = ff.File.Write(p[:allow])
+	}
+	ff.fs.mu.Lock()
+	ff.fs.written += int64(n)
+	ff.fs.mu.Unlock()
+	if err == nil && armed != nil {
+		err = armed
+	}
+	return n, err
+}
+
+func (ff *faultyFile) Sync() error {
+	ff.fs.mu.Lock()
+	ff.fs.syncs++
+	var armed error
+	if ff.fs.syncTrip >= 0 && ff.fs.syncs > ff.fs.syncTrip {
+		armed = ff.fs.syncErr
+	}
+	ff.fs.mu.Unlock()
+	if armed != nil {
+		return armed
+	}
+	return ff.File.Sync()
+}

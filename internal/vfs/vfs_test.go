@@ -1,0 +1,81 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFaultyShortWriteAtOffset(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(nil)
+	f, err := fsys.OpenFile(filepath.Join(dir, "a"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("unarmed write: %v", err)
+	}
+	if got := fsys.BytesWritten(); got != 5 {
+		t.Fatalf("BytesWritten = %d, want 5", got)
+	}
+
+	boom := errors.New("injected ENOSPC")
+	// Allow 3 more bytes (global offset 8), then fail.
+	fsys.FailWritesAt(8, boom)
+	n, err := f.Write([]byte("world!"))
+	if n != 3 || !errors.Is(err, boom) {
+		t.Fatalf("short write: n=%d err=%v, want 3, injected", n, err)
+	}
+	// Past the trip point every write fails with zero bytes.
+	n, err = f.Write([]byte("x"))
+	if n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("post-trip write: n=%d err=%v", n, err)
+	}
+
+	fsys.Heal()
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("healed write: %v", err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hellowor"+"ok" {
+		t.Fatalf("file contents = %q", b)
+	}
+}
+
+func TestFaultySyncCountdownAndHeal(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(nil)
+	f, err := fsys.OpenFile(filepath.Join(dir, "b"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	boom := errors.New("injected EIO")
+	fsys.FailSyncsAfter(2, boom)
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d before trip: %v", i, err)
+		}
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync past trip: %v, want injected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync stays failed: %v", err)
+	}
+	if got := fsys.Syncs(); got != 4 {
+		t.Fatalf("Syncs = %d, want 4", got)
+	}
+	fsys.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("healed sync: %v", err)
+	}
+}

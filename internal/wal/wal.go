@@ -23,6 +23,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"eventdb/internal/vfs"
 )
 
 const (
@@ -52,6 +54,9 @@ type Options struct {
 	// implicit syncing (callers may still call Sync); 1 syncs every
 	// append (group-commit callers batch first).
 	SyncEvery int
+	// FS is the filesystem to write through. Nil means the real one;
+	// tests inject vfs.Faulty to exercise torn writes and fsync errors.
+	FS vfs.FS
 }
 
 // WAL is an append-only, replayable log. Safe for concurrent use.
@@ -60,8 +65,9 @@ type WAL struct {
 	dir       string
 	segBytes  int64
 	syncEvery int
+	fs        vfs.FS
 
-	f        *os.File
+	f        vfs.File
 	w        *bufio.Writer
 	curSize  int64
 	segStart uint64
@@ -88,13 +94,15 @@ func Open(opts Options) (*WAL, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := vfs.Default(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
 	w := &WAL{
 		dir:       opts.Dir,
 		segBytes:  opts.SegmentBytes,
 		syncEvery: opts.SyncEvery,
+		fs:        fsys,
 		nextLSN:   1,
 	}
 	w.syncCond = sync.NewCond(&w.syncMu)
@@ -110,7 +118,7 @@ func Open(opts Options) (*WAL, error) {
 	}
 	// Recover: scan the last segment to find its end and the next LSN.
 	last := segs[len(segs)-1]
-	goodSize, lastLSN, err := scanSegment(filepath.Join(w.dir, segName(last)), func(Record) error { return nil })
+	goodSize, lastLSN, err := scanSegment(w.fs, filepath.Join(w.dir, segName(last)), func(Record) error { return nil })
 	if err != nil {
 		var torn *TornTailError
 		if !errors.As(err, &torn) {
@@ -119,17 +127,17 @@ func Open(opts Options) (*WAL, error) {
 		// Torn tail in the newest segment: recover the intact prefix.
 	}
 	path := filepath.Join(w.dir, segName(last))
-	fi, err := os.Stat(path)
+	fi, err := w.fs.Stat(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: stat: %w", err)
 	}
 	if fi.Size() > goodSize {
 		// Torn tail: truncate to the last intact record boundary.
-		if err := os.Truncate(path, goodSize); err != nil {
+		if err := w.fs.Truncate(path, goodSize); err != nil {
 			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open segment: %w", err)
 	}
@@ -152,7 +160,7 @@ func segName(startLSN uint64) string {
 
 // segments returns the sorted start-LSNs of all segment files.
 func (w *WAL) segments() ([]uint64, error) {
-	entries, err := os.ReadDir(w.dir)
+	entries, err := w.fs.ReadDir(w.dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: readdir: %w", err)
 	}
@@ -187,7 +195,7 @@ func (w *WAL) rollLocked(startLSN uint64) error {
 		}
 	}
 	path := filepath.Join(w.dir, segName(startLSN))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -375,7 +383,7 @@ func (w *WAL) Replay(fromLSN uint64, fn func(Record) error) error {
 			continue
 		}
 		isLast := i == len(segs)-1
-		_, _, err := scanSegment(filepath.Join(dir, segName(start)), func(r Record) error {
+		_, _, err := scanSegment(w.fs, filepath.Join(dir, segName(start)), func(r Record) error {
 			if r.LSN < fromLSN {
 				return nil
 			}
@@ -408,10 +416,106 @@ func (w *WAL) Checkpoint(keepLSN uint64) error {
 		if i+1 >= len(segs) || segs[i+1] > keepLSN || start == w.segStart {
 			continue
 		}
-		if err := os.Remove(filepath.Join(w.dir, segName(start))); err != nil {
+		if err := w.fs.Remove(filepath.Join(w.dir, segName(start))); err != nil {
 			return fmt.Errorf("wal: checkpoint remove: %w", err)
 		}
 	}
+	return nil
+}
+
+// errStopScan ends a segment scan early without reporting corruption.
+var errStopScan = errors.New("wal: stop scan")
+
+// RecoverTail re-verifies the tail of the log after a write or fsync
+// failure left its on-disk state unknown, and reopens it for appends.
+// Everything past the last intact record with LSN <= lastApplied is
+// discarded: records beyond that horizon were never applied (their
+// Append returned an error before the commit was acknowledged), so
+// truncating them loses no acknowledged write. The surviving tail is
+// fsynced before returning — if the device still refuses durability,
+// the error is returned and the log stays unusable for appends, so the
+// caller remains fail-stopped.
+func (w *WAL) RecoverTail(lastApplied uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		// Best effort: if the fault was transient the buffered tail may
+		// still make it down intact (bufio poisons itself after an
+		// error, so this is a no-op for the failed writer path).
+		if w.w != nil && w.w.Flush() == nil {
+			w.f.Sync()
+		}
+		w.f.Close()
+		w.f, w.w = nil, nil
+	}
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return errors.New("wal: no segments to recover")
+	}
+	// A roll during the failed append can leave a whole segment past the
+	// applied horizon; drop it before scanning.
+	for len(segs) > 1 && segs[len(segs)-1] > lastApplied {
+		if err := w.fs.Remove(filepath.Join(w.dir, segName(segs[len(segs)-1]))); err != nil {
+			return fmt.Errorf("wal: recover remove: %w", err)
+		}
+		segs = segs[:len(segs)-1]
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(w.dir, segName(last))
+	good, lastLSN, err := scanSegment(w.fs, path, func(r Record) error {
+		if r.LSN > lastApplied {
+			return errStopScan
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopScan) {
+		var torn *TornTailError
+		if !errors.As(err, &torn) {
+			return err
+		}
+	}
+	fi, err := w.fs.Stat(path)
+	if err != nil {
+		return fmt.Errorf("wal: recover stat: %w", err)
+	}
+	if fi.Size() > good {
+		if err := w.fs.Truncate(path, good); err != nil {
+			return fmt.Errorf("wal: recover truncate: %w", err)
+		}
+	}
+	f, err := w.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: recover reopen: %w", err)
+	}
+	// Prove the device accepts durability again before resuming.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: recover fsync: %w", err)
+	}
+	w.f = f
+	w.w = bufio.NewWriterSize(f, 64<<10)
+	w.curSize = good
+	w.segStart = last
+	w.nextLSN = lastLSN + 1
+	if last >= w.nextLSN {
+		w.nextLSN = last
+	}
+	// Never reissue an LSN the caller already applied: with a sync
+	// cadence > 1 an applied record can be lost with the poisoned write
+	// buffer, leaving a gap in the log — a gap is harmless to replay,
+	// but LSN reuse would corrupt journal mining and replication.
+	if lastApplied+1 > w.nextLSN {
+		w.nextLSN = lastApplied + 1
+	}
+	w.unsync = 0
+	w.syncMu.Lock()
+	// The fsync above re-established durability through the verified
+	// tail; nothing past it exists any more.
+	w.syncedLSN = lastLSN
+	w.syncMu.Unlock()
 	return nil
 }
 
@@ -429,8 +533,8 @@ func (e *TornTailError) Error() string {
 // scanSegment reads records sequentially, calling fn for each; it
 // returns the byte offset just past the last intact record and the last
 // LSN seen. Validation failure returns a *TornTailError.
-func scanSegment(path string, fn func(Record) error) (goodSize int64, lastLSN uint64, err error) {
-	f, err := os.Open(path)
+func scanSegment(fsys vfs.FS, path string, fn func(Record) error) (goodSize int64, lastLSN uint64, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: open for scan: %w", err)
 	}
